@@ -1,0 +1,153 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify the knobs inside our implementation:
+
+* A1: the folding post-pass (how much of the Fig. 5 formula gap it closes);
+* A2: P-circuit block flexibility (minimizing blocks with I as don't-care);
+* A3: the hybrid BISM blind-budget;
+* A4: minimization engine (exact / heuristic / ISOP) impact on lattice area;
+* A5: the Altun-Riedel shared-literal tie-break.
+"""
+
+import random
+
+from repro.boolean import minimize
+from repro.eval.benchsuite import suite
+from repro.eval.tables import format_table
+from repro.reliability import as_program, hybrid_bism, random_defect_map
+from repro.synthesis import (
+    fold_lattice,
+    lattice_from_covers,
+    synthesize_lattice_dual,
+    synthesize_pcircuit,
+)
+
+BENCHES = [b for b in suite(exclude=["large"], max_vars=5)]
+
+
+def test_ablation_folding(benchmark, save_table):
+    """A1: area before/after the folding post-pass."""
+
+    def run():
+        rows = []
+        for bench in BENCHES:
+            table = bench.function.on
+            raw = synthesize_lattice_dual(table, verify=False)
+            folded = fold_lattice(raw, table)
+            rows.append({
+                "benchmark": bench.name,
+                "raw_area": raw.area,
+                "folded_area": folded.area,
+                "saving": raw.area - folded.area,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_folding", format_table(
+        rows, title="[A1] folding post-pass"))
+    assert all(row["folded_area"] <= row["raw_area"] for row in rows)
+    assert sum(row["saving"] for row in rows) > 0
+
+
+def test_ablation_pcircuit_flexibility(benchmark, save_table):
+    """A2: P-circuit blocks with vs without the [7] don't-care flexibility."""
+    targets = [b for b in BENCHES if b.n >= 3][:8]
+
+    def run():
+        rows = []
+        for bench in targets:
+            table = bench.function.on
+            flexible = synthesize_pcircuit(table, 0, use_flexibility=True)
+            rigid = synthesize_pcircuit(table, 0, use_flexibility=False)
+            rows.append({
+                "benchmark": bench.name,
+                "flexible_area": flexible.area,
+                "rigid_area": rigid.area,
+                "flexibility_helps": flexible.area < rigid.area,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_pcircuit_flexibility", format_table(
+        rows, title="[A2] P-circuit block flexibility"))
+    # flexibility must never lose by much and should win somewhere
+    assert all(row["flexible_area"] <= row["rigid_area"] * 1.5 for row in rows)
+    assert any(row["flexibility_helps"] for row in rows)
+
+
+def test_ablation_hybrid_budget(benchmark, save_table):
+    """A3: hybrid BISM blind-budget sweep at a mid defect density."""
+    program = as_program([[True, False, True], [False, True, False]])
+
+    def run():
+        rows = []
+        for budget in (1, 3, 5, 10, 20):
+            rng = random.Random(100)
+            sessions = []
+            for seed in range(40):
+                defect_map = random_defect_map(
+                    10, 10, 0.2, random.Random(seed))
+                result = hybrid_bism(program, defect_map, rng,
+                                     blind_budget=budget, max_retries=120)
+                sessions.append(result.total_sessions(bisd_cost=9))
+            rows.append({
+                "blind_budget": budget,
+                "avg_sessions": sum(sessions) / len(sessions),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_hybrid_budget", format_table(
+        rows, title="[A3] hybrid BISM blind budget (density 0.2)"))
+    assert len(rows) == 5
+
+
+def test_ablation_minimizer_engine(benchmark, save_table):
+    """A4: exact vs heuristic vs ISOP covers feeding the lattice flow."""
+    targets = [b for b in BENCHES if 3 <= b.n <= 5][:8]
+
+    def run():
+        rows = []
+        for bench in targets:
+            table = bench.function.on
+            areas = {}
+            for method in ("exact", "heuristic", "isop"):
+                cover = minimize(table, method=method)
+                dual_cover = minimize(table.dual(), method=method)
+                lattice = lattice_from_covers(cover, dual_cover)
+                areas[method] = lattice.area
+            rows.append({"benchmark": bench.name, **areas})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_minimizer", format_table(
+        rows, title="[A4] minimization engine vs lattice area"))
+    for row in rows:
+        assert row["exact"] <= row["heuristic"] + 1e-9
+        assert row["exact"] <= row["isop"] + 1e-9
+
+
+def test_ablation_tie_break(benchmark, save_table):
+    """A5: shared-literal tie-break vs post-folding area."""
+    targets = [b for b in BENCHES if b.n >= 3][:10]
+
+    def run():
+        rows = []
+        for bench in targets:
+            table = bench.function.on
+            cover = minimize(table)
+            dual_cover = minimize(table.dual())
+            if not cover.num_products or not dual_cover.num_products:
+                continue
+            entry = {"benchmark": bench.name}
+            for strategy in ("first", "last", "frequent"):
+                lattice = lattice_from_covers(cover, dual_cover, strategy)
+                assert lattice.implements(table)
+                entry[strategy] = fold_lattice(lattice, table).area
+            rows.append(entry)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_tie_break", format_table(
+        rows, title="[A5] Altun-Riedel site tie-break (post-folding area)"))
+    assert rows

@@ -1,0 +1,29 @@
+"""E-ARCH: arithmetic / memory / SSM from crossbar blocks (Section V).
+
+Regenerates the architecture-elements table (the paper's future-work
+sub-objectives 3-4) and benchmarks SSM simulation throughput.
+"""
+
+from repro.arch import SynchronousStateMachine, counter_spec
+from repro.eval.experiments import get_experiment
+
+
+def test_arch_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("arch").run(True), rounds=1, iterations=1)
+    save_table("arch_ssm", result.render())
+    assert result.rows
+    for row in result.rows:
+        assert row["verified"], row["element"]
+
+
+def test_ssm_simulation_throughput(benchmark):
+    ssm = SynchronousStateMachine(counter_spec(3))
+    stream = [1] * 200
+
+    def run():
+        ssm.reset()
+        return ssm.run(stream)[-1]
+
+    last = benchmark(run)
+    assert last == 199 % 8

@@ -1,0 +1,54 @@
+"""E-BISD: logarithmic diagnosis configurations (Section IV-A).
+
+Regenerates the diagnosis table (configs = ceil(log2 resources) + 2, 100%
+unique identification) and benchmarks the decode loop.
+"""
+
+import math
+
+from repro.eval.experiments import get_experiment
+from repro.reliability import run_bisd
+
+
+def test_bisd_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("bisd").run(True), rounds=1, iterations=1)
+    save_table("bisd_diagnosis", result.render())
+    for row in result.rows:
+        assert row["accuracy"] == 1.0
+        assert row["configs"] == math.ceil(math.log2(row["resources"])) + 2
+
+
+def test_bisd_full_diagnosis_speed(benchmark):
+    report = benchmark.pedantic(lambda: run_bisd(4, 8), rounds=1, iterations=1)
+    assert report.accuracy == 1.0
+
+
+def test_bisd_fault_dictionary(benchmark, save_table):
+    """Dictionary-based diagnosis over the FULL fault universe (the 'block
+    codes' extension: lines and bridges join the crosspoint codewords)."""
+    from repro.eval.tables import format_table
+    from repro.reliability import build_fault_dictionary
+
+    def run():
+        rows = []
+        for r, c in ((3, 3), (4, 4), (4, 6)):
+            dictionary = build_fault_dictionary(r, c)
+            unique = sum(
+                1 for g in dictionary.groups.values() if len(g) == 1)
+            rows.append({
+                "crossbar": (r, c),
+                "faults": dictionary.num_faults,
+                "configs": dictionary.num_configurations,
+                "signatures": dictionary.num_signatures,
+                "uniquely_diagnosed": unique,
+                "max_ambiguity": dictionary.max_ambiguity,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("bisd_fault_dictionary", format_table(
+        rows, title="[bisd+] full-universe fault dictionary"))
+    for row in rows:
+        assert row["uniquely_diagnosed"] >= row["faults"] * 0.6
+        assert row["signatures"] > 1

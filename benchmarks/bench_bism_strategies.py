@@ -1,0 +1,52 @@
+"""E-BISM: blind vs greedy vs hybrid self-mapping (Section IV-B).
+
+Regenerates the density sweep and checks the paper's qualitative shape:
+blind session counts explode with density, greedy stays flat, hybrid
+tracks the cheaper strategy at both ends.
+"""
+
+import random
+
+from repro.eval.experiments import get_experiment
+from repro.reliability import as_program, blind_bism, random_defect_map
+
+
+def test_bism_strategy_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("bism").run(True), rounds=1, iterations=1)
+    save_table("bism_strategies", result.render())
+    by_key = {(row["strategy"], row["density"]): row for row in result.rows}
+    densities = sorted({row["density"] for row in result.rows})
+    low, high = densities[0], densities[-1]
+
+    # at zero density every strategy succeeds in one BIST session
+    for strategy in ("blind", "greedy", "hybrid"):
+        assert by_key[(strategy, low)].get("success") == 1.0
+        assert by_key[(strategy, low)]["avg_bist"] == 1.0
+    # blind degrades with density
+    assert (by_key[("blind", high)]["avg_bist"]
+            > 3 * by_key[("blind", low)]["avg_bist"])
+    # greedy needs far fewer BIST sessions than blind at high density
+    assert (by_key[("greedy", high)]["avg_bist"]
+            < by_key[("blind", high)]["avg_bist"])
+    # hybrid is never much worse than the better of the two (in sessions)
+    for density in densities:
+        best = min(by_key[("blind", density)]["avg_sessions"],
+                   by_key[("greedy", density)]["avg_sessions"])
+        assert by_key[("hybrid", density)]["avg_sessions"] <= best * 2.5 + 5
+
+
+def test_bism_blind_throughput(benchmark):
+    rng = random.Random(0)
+    program = as_program([[True, False, True], [False, True, False]])
+    maps = [random_defect_map(12, 12, 0.1, rng) for _ in range(20)]
+
+    def run():
+        local = random.Random(1)
+        return sum(
+            blind_bism(program, m, local, max_retries=100).success
+            for m in maps
+        )
+
+    successes = benchmark(run)
+    assert successes >= 15

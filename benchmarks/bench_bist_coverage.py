@@ -1,0 +1,23 @@
+"""E-BIST: exhaustive BIST coverage with constant configurations (Section IV-A).
+
+Regenerates the coverage/cost table and benchmarks full fault simulation of
+the 8x8 suite (the heavy inner loop of self-test).
+"""
+
+from repro.eval.experiments import get_experiment
+from repro.reliability import run_bist
+
+
+def test_bist_coverage_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("bist").run(True), rounds=1, iterations=1)
+    save_table("bist_coverage", result.render())
+    for row in result.rows:
+        assert row["coverage"] == 1.0, f"escapes on {row['crossbar']}"
+        assert row["configs"] == 5
+        assert row["configs"] < row["naive_configs"]
+
+
+def test_bist_fault_simulation_speed(benchmark):
+    report = benchmark.pedantic(lambda: run_bist(8, 8), rounds=1, iterations=1)
+    assert report.coverage == 1.0

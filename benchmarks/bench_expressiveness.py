@@ -1,0 +1,31 @@
+"""E-EXPRESSIVENESS: which functions fit which lattice shapes ([3] context).
+
+Exhaustive labelling enumeration per shape, collapsed to NPN classes, plus
+the minimal-area frontier cross-checked against the SAT-exact synthesiser.
+"""
+
+from repro.eval.experiments import get_experiment
+from repro.synthesis import minimal_area_map, synthesize_lattice_optimal
+
+
+def test_expressiveness_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("expressiveness").run(True),
+        rounds=1, iterations=1)
+    save_table("expressiveness", result.render())
+    by_shape = {(row["shape"], row["n"]): row for row in result.rows}
+    # a 2x2 lattice realises every 2-variable function
+    assert by_shape[((2, 2), 2)]["coverage"] == 1.0
+    assert by_shape[((2, 2), 2)]["npn_classes"] == 4
+    # single sites realise only literals and constants
+    assert by_shape[((1, 1), 2)]["functions"] == 6
+
+
+def test_minimal_area_frontier_matches_sat(benchmark):
+    frontier = benchmark.pedantic(lambda: minimal_area_map(2, max_area=4),
+                                  rounds=1, iterations=1)
+    # cross-check every reachable function against the exact synthesiser
+    for function, area in frontier.items():
+        result = synthesize_lattice_optimal(function, conflict_budget=50_000)
+        assert result.proved_optimal
+        assert result.area == area, (function, area, result.area)

@@ -1,0 +1,32 @@
+"""E-FIG1: two- vs four-terminal switch semantics (paper Fig. 1).
+
+Regenerates the model-comparison table and benchmarks the percolation
+evaluator — the operational core of the four-terminal model.
+"""
+
+import random
+
+from repro.crossbar import top_bottom_connected
+from repro.eval.experiments import get_experiment
+
+
+def test_fig1_switch_model_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig1").run(True), rounds=3, iterations=1)
+    save_table("fig1_switch_models", result.render())
+    assert len(result.rows) == 3
+    assert all(row["implements_xnor2"] for row in result.rows)
+
+
+def test_fig1_percolation_throughput(benchmark):
+    rng = random.Random(1)
+    grids = [
+        [[rng.random() < 0.6 for _ in range(16)] for _ in range(16)]
+        for _ in range(100)
+    ]
+
+    def run():
+        return sum(top_bottom_connected(grid) for grid in grids)
+
+    connected = benchmark(run)
+    assert 0 <= connected <= 100

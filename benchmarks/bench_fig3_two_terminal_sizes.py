@@ -1,0 +1,21 @@
+"""E-FIG3: diode/FET array size formulas (paper Fig. 3).
+
+The formulas are exact for a given SOP cover; the bench regenerates the
+per-benchmark size table and checks formula == as-built everywhere.
+"""
+
+from repro.eval.experiments import get_experiment
+
+
+def test_fig3_size_formula_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig3").run(True), rounds=1, iterations=1)
+    save_table("fig3_two_terminal_sizes", result.render())
+    assert result.rows, "no benchmarks synthesised"
+    for row in result.rows:
+        assert row["diode_formula_ok"], row["benchmark"]
+        assert row["fet_cols_ok"], row["benchmark"]
+    # the Section III-A worked example: 2x5 diode, 4x4 FET
+    xnor = next(row for row in result.rows if row["benchmark"] == "xnor2")
+    assert xnor["diode"] == (2, 5)
+    assert xnor["fet"] == (4, 4)

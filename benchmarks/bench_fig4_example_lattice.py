@@ -1,0 +1,29 @@
+"""E-FIG4: the worked lattice example (paper Fig. 4).
+
+Checks the hand lattice of the figure computes exactly
+x1x2x3 + x1x2x5x6 + x2x3x4x5 + x4x5x6, regenerates the method-ladder table
+and benchmarks the dual-based synthesis of the same function.
+"""
+
+from repro.eval.benchsuite import by_name
+from repro.eval.experiments import get_experiment
+from repro.synthesis import synthesize_lattice_dual
+
+
+def test_fig4_ladder_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig4").run(True), rounds=1, iterations=1)
+    save_table("fig4_example_lattice", result.render())
+    by_method = {row["method"]: row for row in result.rows}
+    assert by_method["paper Fig. 4 (hand)"]["area"] == 6
+    assert by_method["paper Fig. 4 (hand)"]["implements"]
+    formula_area = by_method["Fig. 5 formula [2]"]["area"]
+    folded_area = by_method["formula + folding [11]"]["area"]
+    assert formula_area >= folded_area >= 6
+
+
+def test_fig4_dual_synthesis_speed(benchmark):
+    table = by_name("fig4").function.on
+
+    lattice = benchmark(lambda: synthesize_lattice_dual(table, verify=False))
+    assert lattice.implements(table)

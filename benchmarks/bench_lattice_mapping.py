@@ -1,0 +1,42 @@
+"""E-LATTICE-MAP: defect-aware placement of four-terminal lattices.
+
+The four-terminal analogue of BISM: place a synthesized lattice onto a
+defective site fabric, exploiting stuck-closed sites as constant-1 padding
+and stuck-open sites as constant-0.
+"""
+
+import random
+
+from repro.eval.benchsuite import by_name
+from repro.eval.experiments import get_experiment
+from repro.reliability import map_lattice_random, random_defect_map
+from repro.synthesis import fold_lattice, synthesize_lattice_dual
+
+
+def test_latticemap_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("latticemap").run(True), rounds=1, iterations=1)
+    save_table("lattice_mapping", result.render())
+    rows = {row["density"]: row for row in result.rows}
+    assert rows[0.0]["success_rate"] == 1.0
+    assert rows[0.0]["avg_trials"] == 1.0
+    # success degrades monotonically (weakly) with density
+    rates = [row["success_rate"] for row in result.rows]
+    assert all(a >= b - 0.15 for a, b in zip(rates, rates[1:]))
+
+
+def test_lattice_mapping_speed(benchmark):
+    f = by_name("xnor2").function
+    lattice = fold_lattice(synthesize_lattice_dual(f.on), f.on)
+    rng = random.Random(0)
+    fabrics = [random_defect_map(8, 8, 0.1, rng) for _ in range(10)]
+
+    def run():
+        local = random.Random(1)
+        return sum(
+            map_lattice_random(lattice, fabric, local, max_trials=100).success
+            for fabric in fabrics
+        )
+
+    successes = benchmark(run)
+    assert successes >= 5

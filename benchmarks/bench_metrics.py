@@ -1,0 +1,34 @@
+"""E-METRICS: area / delay / power per array style (Section II).
+
+The project overview promises evaluation "considering performance
+parameters such as area, delay, power dissipation"; this bench regenerates
+the cross-style table with the first-order technology models.
+"""
+
+from repro.crossbar import compare_styles
+from repro.eval.benchsuite import by_name
+from repro.eval.experiments import get_experiment
+
+
+def test_metrics_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("metrics").run(True), rounds=1, iterations=1)
+    save_table("metrics", result.render())
+    assert result.rows
+    by_bench: dict = {}
+    for row in result.rows:
+        by_bench.setdefault(row["benchmark"], {})[row["style"]] = row
+    for name, styles in by_bench.items():
+        assert set(styles) == {"diode", "fet", "lattice"}
+        # only diode planes burn static power in these models
+        assert styles["diode"]["power"] > styles["fet"]["power"]
+        # every metric is positive and finite
+        for row in styles.values():
+            assert row["area"] > 0 and row["delay"] > 0 and row["power"] > 0
+
+
+def test_metrics_computation_speed(benchmark):
+    table = by_name("thr4_2").function.on
+
+    metrics = benchmark(lambda: compare_styles(table))
+    assert len(metrics) == 3

@@ -1,0 +1,31 @@
+"""E-TAB-OPT: SAT-exact lattice synthesis ([9], Gange et al.).
+
+Regenerates the optimal-vs-heuristic area table and benchmarks the CDCL
+search on the paper's XNOR example (proved optimal at 2x2).
+"""
+
+from repro.eval.benchsuite import by_name
+from repro.eval.experiments import get_experiment
+from repro.synthesis import synthesize_lattice_optimal
+
+
+def test_optimal_lattice_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("optimal").run(True), rounds=1, iterations=1)
+    save_table("optimal_lattice", result.render())
+    assert result.rows
+    for row in result.rows:
+        assert row["optimal_area"] <= row["folded_area"] <= row["formula_area"]
+    # the worked example must be proved optimal at 4 sites
+    xnor = next(row for row in result.rows if row["benchmark"] == "xnor2")
+    assert xnor["optimal_area"] == 4 and xnor["proved"]
+
+
+def test_optimal_search_speed_xor3(benchmark):
+    table = by_name("xor3").function.on
+
+    result = benchmark.pedantic(
+        lambda: synthesize_lattice_optimal(table, conflict_budget=100_000),
+        rounds=1, iterations=1)
+    assert result.lattice.implements(table)
+    assert result.area <= 9

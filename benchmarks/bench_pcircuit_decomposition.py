@@ -1,0 +1,29 @@
+"""E-TAB-PC: lattice synthesis with P-circuit decomposition (Section III-B.1).
+
+Regenerates the decomposition-vs-direct area table ([5],[7]) and benchmarks
+one full best-split search.
+"""
+
+from repro.eval.benchsuite import by_name
+from repro.eval.experiments import get_experiment
+from repro.synthesis import best_pcircuit
+
+
+def test_pcircuit_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("pcircuit").run(True), rounds=1, iterations=1)
+    save_table("pcircuit_decomposition", result.render())
+    assert result.rows
+    # correctness is enforced inside the flow; here check the table shape
+    # and that decomposition finds at least one genuine improvement
+    assert any(row["improves"] for row in result.rows), (
+        "P-circuit preprocessing should reduce area on at least one benchmark"
+    )
+
+
+def test_pcircuit_best_split_speed(benchmark):
+    table = by_name("sym5_23").function.on
+
+    result = benchmark.pedantic(lambda: best_pcircuit(table),
+                                rounds=1, iterations=1)
+    assert result.lattice.implements(table)

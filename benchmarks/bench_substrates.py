@@ -1,0 +1,69 @@
+"""Substrate performance benchmarks (not a paper table).
+
+Tracks the cost of the building blocks every experiment relies on: the
+two-level minimizer, the dual computation, the CDCL SAT solver and the
+ROBDD engine.  Regressions here slow every table regeneration down.
+"""
+
+import random
+
+from repro.boolean import Bdd, TruthTable, exact_minimize, isop, minimize
+from repro.sat import Cnf, solve_cnf
+
+
+def test_exact_minimize_speed(benchmark):
+    tables = [TruthTable.from_bits(4, (0x9D3A + 977 * i) & 0xFFFF)
+              for i in range(10)]
+
+    def run():
+        return sum(exact_minimize(t).num_products for t in tables)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_isop_speed(benchmark):
+    table = TruthTable.from_callable(8, lambda m: bin(m).count("1") in (2, 3, 5))
+
+    cover = benchmark(lambda: isop(table))
+    assert cover.to_truth_table() == table
+
+
+def test_dual_minimize_speed(benchmark):
+    table = TruthTable.from_callable(6, lambda m: bin(m).count("1") >= 3)
+
+    def run():
+        return minimize(table.dual()).num_products
+
+    products = benchmark(run)
+    # dual of (>=3 of 6) is (>=4 of 6), whose minimal SOP has C(6,4) products
+    assert products == 15
+
+
+def test_sat_solver_speed(benchmark):
+    rng = random.Random(99)
+    instances = []
+    for _ in range(5):
+        cnf = Cnf(30)
+        for _ in range(110):
+            vs = rng.sample(range(1, 31), 3)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in vs])
+        instances.append(cnf)
+
+    def run():
+        return sum(solve_cnf(c) is not None for c in instances)
+
+    sat_count = benchmark(run)
+    assert 0 <= sat_count <= 5
+
+
+def test_bdd_build_speed(benchmark):
+    table = TruthTable.from_callable(10, lambda m: bin(m).count("1") % 3 == 0)
+
+    def run():
+        manager = Bdd(10)
+        node = manager.from_truth_table(table)
+        return manager.sat_count(node)
+
+    count = benchmark(run)
+    assert count == table.count_ones()

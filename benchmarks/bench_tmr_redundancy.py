@@ -1,0 +1,48 @@
+"""E-TMR: transient/permanent fault tolerance via redundancy ([15]).
+
+Extension experiment: TMR (three lattice replicas + a lattice majority
+voter) against transient site upsets, and spare-line repair for permanent
+defects.  Checks the classic TMR crossover shape.
+"""
+
+import random
+
+from repro.eval.experiments import get_experiment
+from repro.reliability import majority_voter_lattice, tmr_reliability
+from repro.synthesis import fold_lattice, synthesize_lattice_dual
+from repro.eval.benchsuite import by_name
+
+
+def test_tmr_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("tmr").run(True), rounds=1, iterations=1)
+    save_table("tmr_redundancy", result.render())
+    numeric = [row for row in result.rows
+               if isinstance(row["upset_rate"], float)]
+    by_rate = {row["upset_rate"]: row for row in numeric}
+    # fault-free: both perfect
+    assert by_rate[0.0]["simplex_correct"] == 1.0
+    assert by_rate[0.0]["tmr_correct"] == 1.0
+    # low upset rates: TMR must win
+    assert by_rate[0.01]["tmr_correct"] >= by_rate[0.01]["simplex_correct"]
+    # the advantage must shrink (or invert) as the rate grows
+    gain_low = by_rate[0.01]["tmr_correct"] - by_rate[0.01]["simplex_correct"]
+    gain_high = by_rate[0.2]["tmr_correct"] - by_rate[0.2]["simplex_correct"]
+    assert gain_high < gain_low + 0.05
+
+
+def test_tmr_evaluation_speed(benchmark):
+    f = by_name("xnor2").function
+    replica = fold_lattice(synthesize_lattice_dual(f.on), f.on)
+    rng = random.Random(0)
+
+    def run():
+        return tmr_reliability(replica, f.on, [0.05], 200, rng)[0]
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0.0 <= point.tmr_correct <= 1.0
+
+
+def test_voter_lattice_area(benchmark):
+    voter = benchmark(majority_voter_lattice)
+    assert voter.area == 6  # maj3 folds to 2x3

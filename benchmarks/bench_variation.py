@@ -1,0 +1,31 @@
+"""E-VAR: variation tolerance (Section IV).
+
+Regenerates the variation-aware vs oblivious mapping table and checks the
+qualitative claim: awareness helps, and helps more as variation grows.
+"""
+
+import random
+
+from repro.eval.experiments import get_experiment
+from repro.reliability import lognormal_variation
+
+
+def test_variation_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("variation").run(True), rounds=1, iterations=1)
+    save_table("variation", result.render())
+    for row in result.rows:
+        assert row["aware_mean"] <= row["oblivious_mean"] * 1.02
+    # the gain grows with sigma
+    gains = [row["mean_gain"] for row in result.rows]
+    assert gains[-1] > gains[0]
+
+
+def test_variation_sampling_speed(benchmark):
+    rng = random.Random(0)
+
+    def run():
+        return [lognormal_variation(16, 16, 0.5, rng) for _ in range(20)]
+
+    maps = benchmark(run)
+    assert len(maps) == 20

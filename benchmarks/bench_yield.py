@@ -1,0 +1,40 @@
+"""E-YIELD: manufacturing yield models (Section IV).
+
+Regenerates the Monte-Carlo vs analytic yield table and checks the
+defect-tolerance story: accepting k < N turns a collapsing full-array yield
+into a high recovered yield.
+"""
+
+import random
+
+from repro.eval.experiments import get_experiment
+from repro.reliability import monte_carlo_yield
+
+
+def test_yield_table(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: get_experiment("yield").run(True), rounds=1, iterations=1)
+    save_table("yield", result.render())
+    rows = result.rows
+    # for k == N there is one candidate placement: MC must track the
+    # analytic probability closely
+    for row in rows:
+        if row["k"] == row["N"]:
+            assert abs(row["monte_carlo_yield"]
+                       - row["fixed_placement_prob"]) < 0.15
+    # smaller k -> higher yield at every density
+    by_density: dict = {}
+    for row in rows:
+        by_density.setdefault(row["density"], []).append(row)
+    for bucket in by_density.values():
+        bucket.sort(key=lambda r: r["k"])
+        yields = [r["monte_carlo_yield"] for r in bucket]
+        assert all(a >= b - 1e-9 for a, b in zip(yields, yields[1:]))
+
+
+def test_yield_monte_carlo_speed(benchmark):
+    rng = random.Random(5)
+    estimate = benchmark.pedantic(
+        lambda: monte_carlo_yield(12, 9, 0.05, 50, rng),
+        rounds=1, iterations=1)
+    assert 0.0 <= estimate.yield_rate <= 1.0

@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs (offline environment without `wheel`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""nanoxbar — a reproduction of "Computing with Nano-Crossbar Arrays:
+Logic Synthesis and Fault Tolerance" (Altun, Ciriani, Tahoori, DATE 2017).
+
+Sub-packages:
+
+* :mod:`repro.boolean`     — Boolean substrate (cubes, covers, truth tables,
+  minimization, duals, PLA, BDDs, affine spaces)
+* :mod:`repro.sat`         — pure-Python CDCL SAT solver + encodings
+* :mod:`repro.crossbar`    — diode / FET / four-terminal lattice array models
+* :mod:`repro.synthesis`   — the paper's synthesis flows (Fig. 3 / Fig. 5,
+  P-circuits, D-reducible, SAT-optimal, folding)
+* :mod:`repro.reliability` — BIST, BISD, BISM, defect-unaware flow,
+  variation and yield models (Section IV)
+* :mod:`repro.arch`        — arithmetic / memory / SSM extensions (Section V)
+* :mod:`repro.eval`        — benchmark suite + experiment registry + CLI
+
+Quickstart::
+
+    from repro.boolean import BooleanFunction
+    from repro.synthesis import synthesize_lattice_dual
+
+    f = BooleanFunction.from_expression("x1 x2 + x1' x2'")
+    lattice = synthesize_lattice_dual(f.on)   # the paper's 2x2 example
+"""
+
+from . import arch, boolean, crossbar, eval, reliability, sat, synthesis
+from .boolean import BooleanFunction, Cover, Cube, Literal, TruthTable
+from .crossbar import DiodeCrossbar, FetCrossbar, Lattice
+from .synthesis import (
+    synthesize_diode,
+    synthesize_dreducible,
+    synthesize_fet,
+    synthesize_lattice_dual,
+    synthesize_lattice_optimal,
+    synthesize_pcircuit,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanFunction",
+    "Cover",
+    "Cube",
+    "DiodeCrossbar",
+    "FetCrossbar",
+    "Lattice",
+    "Literal",
+    "TruthTable",
+    "__version__",
+    "arch",
+    "boolean",
+    "crossbar",
+    "eval",
+    "reliability",
+    "sat",
+    "synthesis",
+    "synthesize_diode",
+    "synthesize_dreducible",
+    "synthesize_fet",
+    "synthesize_lattice_dual",
+    "synthesize_lattice_optimal",
+    "synthesize_pcircuit",
+]

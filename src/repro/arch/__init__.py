@@ -1,0 +1,54 @@
+"""Architecture extensions: arithmetic, memory and the SSM (Section V).
+
+These implement the paper's future-work sub-objectives 3 and 4 on top of
+the synthesis flows: arithmetic/memory elements realised with crossbar
+arrays and a synchronous state machine combining them.
+"""
+
+from .arithmetic import (
+    AdderReport,
+    adder_reference,
+    adder_report,
+    comparator_reference,
+    shared_adder_report,
+    synthesize_adder,
+    synthesize_adder_shared,
+    synthesize_comparator,
+)
+from .blocks import (
+    CombinationalCircuit,
+    LogicBlock,
+    STYLES,
+    circuit_from_tables,
+    synthesize_block,
+)
+from .memory import CrossbarMemory, RegisterBank, address_decoder
+from .ssm import (
+    SsmSpec,
+    SynchronousStateMachine,
+    counter_spec,
+    sequence_detector_spec,
+)
+
+__all__ = [
+    "AdderReport",
+    "CombinationalCircuit",
+    "CrossbarMemory",
+    "LogicBlock",
+    "RegisterBank",
+    "STYLES",
+    "SsmSpec",
+    "SynchronousStateMachine",
+    "address_decoder",
+    "adder_reference",
+    "adder_report",
+    "circuit_from_tables",
+    "comparator_reference",
+    "counter_spec",
+    "sequence_detector_spec",
+    "shared_adder_report",
+    "synthesize_adder",
+    "synthesize_adder_shared",
+    "synthesize_block",
+    "synthesize_comparator",
+]

@@ -1,0 +1,148 @@
+"""Arithmetic elements from crossbar blocks (paper sub-objective 3).
+
+Ripple-carry adders and magnitude comparators whose per-output functions
+are synthesised onto crossbar arrays.  Input packing convention: operand
+``a`` occupies bits ``0..width-1``, operand ``b`` bits ``width..2*width-1``,
+and (for the adder) the carry-in is the last bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boolean.truthtable import TruthTable
+from .blocks import CombinationalCircuit, circuit_from_tables
+
+
+def _adder_bit_tables(width: int, with_carry_in: bool = False) -> list[TruthTable]:
+    """Truth tables for the sum bits and the carry-out of an adder."""
+    n = 2 * width + (1 if with_carry_in else 0)
+    tables = []
+    for out_bit in range(width + 1):
+        def value(m: int, out_bit=out_bit) -> bool:
+            a = m & ((1 << width) - 1)
+            b = (m >> width) & ((1 << width) - 1)
+            cin = (m >> (2 * width)) & 1 if with_carry_in else 0
+            total = a + b + cin
+            return bool((total >> out_bit) & 1)
+
+        tables.append(TruthTable.from_callable(n, value))
+    return tables
+
+
+@dataclass(frozen=True)
+class AdderReport:
+    """Area of a crossbar ripple/flat adder (one experiment row)."""
+
+    width: int
+    style: str
+    total_area: int
+    per_output_areas: tuple[int, ...]
+
+
+def synthesize_adder(width: int, style: str = "lattice",
+                     with_carry_in: bool = False) -> CombinationalCircuit:
+    """A ``width``-bit adder: width sum bits plus the carry-out.
+
+    Outputs are synthesised flat (each output bit as one two-level block),
+    which is the only form a crossbar can realise directly (Section III-A).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    tables = _adder_bit_tables(width, with_carry_in)
+    labels = [f"sum{i}" for i in range(width)] + ["carry"]
+    circuit = circuit_from_tables(f"adder{width}", tables, style, labels)
+    return circuit
+
+
+def adder_reference(width: int, with_carry_in: bool = False):
+    """Reference model matching the adder circuit's packing."""
+
+    def reference(m: int) -> int:
+        a = m & ((1 << width) - 1)
+        b = (m >> width) & ((1 << width) - 1)
+        cin = (m >> (2 * width)) & 1 if with_carry_in else 0
+        return a + b + cin
+
+    return reference
+
+
+def adder_report(width: int, style: str = "lattice") -> AdderReport:
+    circuit = synthesize_adder(width, style)
+    return AdderReport(
+        width=width,
+        style=style,
+        total_area=circuit.total_area,
+        per_output_areas=tuple(block.area for block in circuit.blocks),
+    )
+
+
+def synthesize_adder_shared(width: int, with_carry_in: bool = False):
+    """The adder on ONE shared diode plane (joint multi-output cover).
+
+    Returns a :class:`~repro.synthesis.multi_output.MultiOutputDiodePlane`
+    whose ``evaluate`` packs sum bits and carry exactly like
+    :func:`adder_reference`.
+    """
+    from ..synthesis.multi_output import MultiOutputDiodePlane
+
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    tables = _adder_bit_tables(width, with_carry_in)
+    plane = MultiOutputDiodePlane(tables)
+    if not plane.implements_all():
+        raise RuntimeError("shared adder plane failed verification")
+    return plane
+
+
+def shared_adder_report(width: int) -> dict:
+    """Shared-plane vs per-output diode adder areas."""
+    plane = synthesize_adder_shared(width)
+    independent = synthesize_adder(width, style="diode")
+    return {
+        "width": width,
+        "shared_shape": plane.shape,
+        "shared_area": plane.area,
+        "independent_area": independent.total_area,
+        "shared_rows": plane.num_rows,
+        "independent_rows": sum(
+            block.array.num_rows for block in independent.blocks
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Comparator
+# ----------------------------------------------------------------------
+def _comparator_tables(width: int) -> list[TruthTable]:
+    """Truth tables for (a < b, a == b, a > b)."""
+    n = 2 * width
+
+    def unpack(m: int) -> tuple[int, int]:
+        return m & ((1 << width) - 1), (m >> width) & ((1 << width) - 1)
+
+    lt = TruthTable.from_callable(n, lambda m: unpack(m)[0] < unpack(m)[1])
+    eq = TruthTable.from_callable(n, lambda m: unpack(m)[0] == unpack(m)[1])
+    gt = TruthTable.from_callable(n, lambda m: unpack(m)[0] > unpack(m)[1])
+    return [lt, eq, gt]
+
+
+def synthesize_comparator(width: int, style: str = "lattice") -> CombinationalCircuit:
+    """A ``width``-bit magnitude comparator with lt/eq/gt outputs."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    tables = _comparator_tables(width)
+    return circuit_from_tables(
+        f"cmp{width}", tables, style, ["lt", "eq", "gt"]
+    )
+
+
+def comparator_reference(width: int):
+    """Reference: bit0 = a<b, bit1 = a==b, bit2 = a>b."""
+
+    def reference(m: int) -> int:
+        a = m & ((1 << width) - 1)
+        b = (m >> width) & ((1 << width) - 1)
+        return (a < b) | ((a == b) << 1) | ((a > b) << 2)
+
+    return reference

@@ -1,0 +1,111 @@
+"""Boolean-function substrate for the nano-crossbar synthesis flows.
+
+Public surface:
+
+* :class:`~repro.boolean.cube.Literal`, :class:`~repro.boolean.cube.Cube`
+* :class:`~repro.boolean.cover.Cover`
+* :class:`~repro.boolean.truthtable.TruthTable`
+* :class:`~repro.boolean.function.BooleanFunction`
+* minimization: :func:`~repro.boolean.minimize.minimize` and friends
+* duals: :func:`~repro.boolean.dual.dual_cover` etc.
+* PLA I/O, ROBDDs, GF(2)/affine-space tools for D-reducible functions
+"""
+
+from .affine import (
+    AffineSpace,
+    affine_hull,
+    d_reduction,
+    embed_projection,
+    gf2_kernel,
+    gf2_rank,
+    gf2_row_reduce,
+    is_d_reducible,
+    onset_affine_hull,
+    parity_table,
+    project_onto,
+)
+from .bdd import Bdd
+from .cover import Cover
+from .cube import Cube, Literal
+from .dual import (
+    check_duality_lemma,
+    dual_cover,
+    dual_table,
+    is_self_dual,
+    minimized_pair,
+    shared_literal,
+)
+from .expr import (
+    ExpressionError,
+    expression_to_cover,
+    expression_to_truth_table,
+    expression_variables,
+    parse_expression,
+)
+from .function import BooleanFunction
+from .npn import (
+    NpnTransform,
+    apply_transform,
+    count_npn_classes,
+    npn_canonical,
+    npn_classes,
+    npn_equivalent,
+)
+from .minimize import (
+    exact_minimize,
+    heuristic_minimize,
+    isop,
+    minimize,
+    prime_implicants,
+    verify_cover,
+)
+from .pla import Pla, PlaError, cover_to_pla, parse_pla, write_pla
+from .truthtable import TruthTable
+
+__all__ = [
+    "AffineSpace",
+    "Bdd",
+    "BooleanFunction",
+    "Cover",
+    "Cube",
+    "ExpressionError",
+    "Literal",
+    "NpnTransform",
+    "Pla",
+    "PlaError",
+    "TruthTable",
+    "affine_hull",
+    "apply_transform",
+    "check_duality_lemma",
+    "count_npn_classes",
+    "cover_to_pla",
+    "d_reduction",
+    "dual_cover",
+    "dual_table",
+    "embed_projection",
+    "exact_minimize",
+    "expression_to_cover",
+    "expression_to_truth_table",
+    "expression_variables",
+    "gf2_kernel",
+    "gf2_rank",
+    "gf2_row_reduce",
+    "heuristic_minimize",
+    "is_d_reducible",
+    "is_self_dual",
+    "isop",
+    "minimize",
+    "minimized_pair",
+    "npn_canonical",
+    "npn_classes",
+    "npn_equivalent",
+    "onset_affine_hull",
+    "parity_table",
+    "parse_expression",
+    "parse_pla",
+    "prime_implicants",
+    "project_onto",
+    "shared_literal",
+    "verify_cover",
+    "write_pla",
+]

@@ -1,0 +1,322 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+The paper notes (Section III-A) that nano-crossbar arrays cannot realise
+BDD forms directly — functions must be flattened to SOP.  BDDs are still
+the right internal representation for *verifying* synthesis results on
+functions too large for dense truth tables, and for counting satisfying
+assignments in the yield models, so the package carries a small, fully
+tested ROBDD engine.
+
+Nodes are interned integers; the manager owns the unique table and the
+apply cache.  Variable order is fixed to the natural index order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .cover import Cover
+from .cube import Cube
+from .truthtable import TruthTable
+
+
+class Bdd:
+    """A ROBDD manager for functions over ``n`` variables.
+
+    Node ids: ``0`` is constant FALSE, ``1`` is constant TRUE; internal
+    nodes are ids >= 2 with attributes ``(var, low, high)``.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("variable count must be non-negative")
+        self.n = n
+        self._var: list[int] = [n, n]      # terminals sort after all vars
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def node(self, var: int, low: int, high: int) -> int:
+        """Intern a node, applying the ROBDD reduction rules."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node_id = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node_id
+        return node_id
+
+    def var_node(self, var: int, positive: bool = True) -> int:
+        """The BDD of a single literal."""
+        if not 0 <= var < self.n:
+            raise ValueError(f"variable {var} out of range for n={self.n}")
+        if positive:
+            return self.node(var, self.FALSE, self.TRUE)
+        return self.node(var, self.TRUE, self.FALSE)
+
+    def constant(self, value: bool) -> int:
+        return self.TRUE if value else self.FALSE
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+    def variable_of(self, node: int) -> int:
+        return self._var[node]
+
+    def low_of(self, node: int) -> int:
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        return node < 2
+
+    def size(self, node: int) -> int:
+        """Number of internal nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur < 2 or cur in seen:
+                continue
+            seen.add(cur)
+            stack.append(self._low[cur])
+            stack.append(self._high[cur])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def apply(self, op: str, a: int, b: int) -> int:
+        """Binary operation: ``and``, ``or``, ``xor``."""
+        table: dict[str, Callable[[bool, bool], bool]] = {
+            "and": lambda x, y: x and y,
+            "or": lambda x, y: x or y,
+            "xor": lambda x, y: x != y,
+        }
+        if op not in table:
+            raise ValueError(f"unknown op {op!r}")
+        fn = table[op]
+
+        def rec(u: int, v: int) -> int:
+            if u < 2 and v < 2:
+                return self.constant(fn(bool(u), bool(v)))
+            # Short circuits
+            if op == "and":
+                if u == self.FALSE or v == self.FALSE:
+                    return self.FALSE
+                if u == self.TRUE:
+                    return v
+                if v == self.TRUE:
+                    return u
+                if u == v:
+                    return u
+            elif op == "or":
+                if u == self.TRUE or v == self.TRUE:
+                    return self.TRUE
+                if u == self.FALSE:
+                    return v
+                if v == self.FALSE:
+                    return u
+                if u == v:
+                    return u
+            elif op == "xor":
+                if u == self.FALSE:
+                    return v
+                if v == self.FALSE:
+                    return u
+                if u == v:
+                    return self.FALSE
+            key = (op, u, v) if op != "xor" or u <= v else (op, v, u)
+            hit = self._apply_cache.get(key)
+            if hit is not None:
+                return hit
+            var = min(self._var[u], self._var[v])
+            u0, u1 = (self._low[u], self._high[u]) if self._var[u] == var else (u, u)
+            v0, v1 = (self._low[v], self._high[v]) if self._var[v] == var else (v, v)
+            result = self.node(var, rec(u0, v0), rec(u1, v1))
+            self._apply_cache[key] = result
+            return result
+
+        return rec(a, b)
+
+    def conj(self, a: int, b: int) -> int:
+        return self.apply("and", a, b)
+
+    def disj(self, a: int, b: int) -> int:
+        return self.apply("or", a, b)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.apply("xor", a, b)
+
+    def negate(self, a: int) -> int:
+        return self.apply("xor", a, self.TRUE)
+
+    def ite(self, cond: int, then_node: int, else_node: int) -> int:
+        """If-then-else composition."""
+        return self.disj(
+            self.conj(cond, then_node),
+            self.conj(self.negate(cond), else_node),
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def from_cube(self, cube: Cube) -> int:
+        """Build the conjunction of a cube's literals."""
+        result = self.TRUE
+        for lit in sorted(cube.literals(), key=lambda l: -l.var):
+            result = self.conj(self.var_node(lit.var, lit.positive), result)
+        return result
+
+    def from_cover(self, cover: Cover) -> int:
+        """Build the disjunction of a cover's cubes."""
+        result = self.FALSE
+        for cube in cover:
+            result = self.disj(result, self.from_cube(cube))
+        return result
+
+    def from_truth_table(self, table: TruthTable) -> int:
+        """Build from a dense truth table (Shannon recursion, ascending vars).
+
+        The manager's invariant is *ascending* variable order along every
+        root-to-terminal path; ``apply`` and ``restrict`` rely on it.
+        """
+        if table.n != self.n:
+            raise ValueError("truth table dimension mismatch")
+        return self._from_values(tuple(bool(v) for v in table.values), 0)
+
+    def _from_values(self, values: tuple[bool, ...], var: int) -> int:
+        if all(values):
+            return self.TRUE
+        if not any(values):
+            return self.FALSE
+        # Bit 0 of the local index is variable `var`; halving the tuple
+        # re-indexes the remaining variables onto var+1, var+2, ...
+        return self.node(
+            var,
+            self._from_values(values[0::2], var + 1),
+            self._from_values(values[1::2], var + 1),
+        )
+
+    def evaluate(self, node: int, assignment: int) -> bool:
+        """Evaluate by walking the DAG."""
+        cur = node
+        while cur >= 2:
+            if (assignment >> self._var[cur]) & 1:
+                cur = self._high[cur]
+            else:
+                cur = self._low[cur]
+        return bool(cur)
+
+    def to_truth_table(self, node: int) -> TruthTable:
+        """Materialise as a dense table (n must be small)."""
+        return TruthTable.from_callable(self.n, lambda m: self.evaluate(node, m))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def restrict(self, node: int, var: int, value: bool) -> int:
+        """Cofactor (stays in the same manager / variable space)."""
+        cache: dict[int, int] = {}
+
+        def rec(u: int) -> int:
+            if u < 2 or self._var[u] > var:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            if self._var[u] == var:
+                result = self._high[u] if value else self._low[u]
+            else:
+                result = self.node(self._var[u], rec(self._low[u]), rec(self._high[u]))
+            cache[u] = result
+            return result
+
+        return rec(node)
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying assignments over all n variables."""
+        cache: dict[int, int] = {}
+
+        def rec(u: int) -> int:
+            if u == self.FALSE:
+                return 0
+            if u == self.TRUE:
+                return 1 << self.n
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            # Each child count is over the full space; halve for the split.
+            result = (rec(self._low[u]) + rec(self._high[u])) // 2
+            cache[u] = result
+            return result
+
+        return rec(node)
+
+    def any_sat(self, node: int) -> int | None:
+        """One satisfying assignment (as an int), or None for FALSE."""
+        if node == self.FALSE:
+            return None
+        assignment = 0
+        cur = node
+        while cur >= 2:
+            if self._low[cur] != self.FALSE:
+                cur = self._low[cur]
+            else:
+                assignment |= 1 << self._var[cur]
+                cur = self._high[cur]
+        return assignment
+
+    def support(self, node: int) -> list[int]:
+        """Variables the function depends on."""
+        seen: set[int] = set()
+        vars_found: set[int] = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur < 2 or cur in seen:
+                continue
+            seen.add(cur)
+            vars_found.add(self._var[cur])
+            stack.append(self._low[cur])
+            stack.append(self._high[cur])
+        return sorted(vars_found)
+
+    def iter_prime_paths(self, node: int) -> Iterator[Cube]:
+        """Iterate cubes for each 1-path of the BDD (a disjoint SOP)."""
+
+        def rec(u: int, cube: Cube) -> Iterator[Cube]:
+            if u == self.FALSE:
+                return
+            if u == self.TRUE:
+                yield cube
+                return
+            var = self._var[u]
+            low_cube = cube.with_literal(_lit(var, False))
+            if low_cube is not None:
+                yield from rec(self._low[u], low_cube)
+            high_cube = cube.with_literal(_lit(var, True))
+            if high_cube is not None:
+                yield from rec(self._high[u], high_cube)
+
+        yield from rec(node, Cube.universe(self.n))
+
+
+def _lit(var: int, positive: bool):
+    from .cube import Literal
+
+    return Literal(var, positive)

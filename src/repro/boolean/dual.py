@@ -1,0 +1,65 @@
+"""Dual functions and the duality lemma.
+
+The dual ``f^D(x) = ~f(~x)`` drives two of the paper's size formulas:
+
+* FET arrays (Fig. 3) need one column per product of ``f`` *and* of ``f^D``
+  (pull-down and pull-up planes);
+* four-terminal lattices (Fig. 5) need ``#products(f)`` columns and
+  ``#products(f^D)`` rows.
+
+The module also exposes the classical *duality lemma* — every product of a
+cover of ``f`` shares at least one literal (same variable, same polarity)
+with every product of a cover of ``f^D`` — which is what makes the
+Altun-Riedel lattice construction well-defined.
+"""
+
+from __future__ import annotations
+
+from .cover import Cover
+from .cube import Cube, Literal
+from .minimize import minimize
+from .truthtable import TruthTable
+
+
+def dual_table(table: TruthTable) -> TruthTable:
+    """The dual truth table ``f^D(x) = ~f(~x)``."""
+    return table.dual()
+
+
+def dual_cover(cover: Cover, method: str = "auto") -> Cover:
+    """A minimized cover of the dual of (the function of) a cover."""
+    return minimize(cover.to_truth_table().dual(), method=method)
+
+
+def minimized_pair(table: TruthTable, method: str = "auto") -> tuple[Cover, Cover]:
+    """Minimized covers of ``f`` and ``f^D`` (the Fig. 5 inputs)."""
+    return minimize(table, method=method), minimize(table.dual(), method=method)
+
+
+def is_self_dual(table: TruthTable) -> bool:
+    """True when ``f == f^D`` (lattice rows == columns count-wise)."""
+    return table.is_self_dual()
+
+
+def shared_literal(product_of_f: Cube, product_of_dual: Cube) -> Literal:
+    """A literal common to a product of ``f`` and a product of ``f^D``.
+
+    Raises:
+        ValueError: if no shared literal exists — which the duality lemma
+            guarantees cannot happen when the cubes really are implicants of
+            a function and its dual.
+    """
+    shared = product_of_f.shared_literals(product_of_dual)
+    if not shared:
+        raise ValueError(
+            f"products {product_of_f} and {product_of_dual} share no literal; "
+            "they cannot be implicants of a function and its dual"
+        )
+    return shared[0]
+
+
+def check_duality_lemma(cover_f: Cover, cover_dual: Cover) -> bool:
+    """Verify the duality lemma for every product pair of the two covers."""
+    return all(
+        p.shared_literals(q) for p in cover_f for q in cover_dual
+    ) if len(cover_f) and len(cover_dual) else True

@@ -1,0 +1,99 @@
+"""NPN classification (input Negation / input Permutation / output Negation).
+
+Two functions are NPN-equivalent when one maps to the other by permuting
+inputs, complementing some inputs, and possibly complementing the output.
+Array synthesis cost is invariant under input transforms (literals are
+free in both polarities on a crossbar), so NPN classes are the right
+granularity for expressiveness studies — e.g. "which functions fit a 2x2
+lattice" (see :mod:`repro.synthesis.enumerate_lattices`).
+
+Exhaustive canonicalisation; practical for n <= 5 (the classic class
+counts: 4 classes for n=2, 14 for n=3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from .truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class NpnTransform:
+    """A witness transform: ``g(x) = f(perm/neg(x)) ^ output_negate``."""
+
+    permutation: tuple[int, ...]
+    input_negation_mask: int
+    output_negate: bool
+
+
+def apply_transform(table: TruthTable, transform: NpnTransform) -> TruthTable:
+    """Apply an NPN transform to a truth table.
+
+    The result ``g`` satisfies ``g(x) = f(sigma(x)) ^ out`` where bit ``i``
+    of ``sigma(x)`` is ``x[perm[i]] ^ neg[perm[i]]``... concretely: new
+    variable ``i`` takes the role of old variable ``perm[i]``, with
+    negation applied per the mask (over old variable indices).
+    """
+    n = table.n
+    idx = np.arange(1 << n)
+    old = np.zeros(1 << n, dtype=np.int64)
+    for new_var, old_var in enumerate(transform.permutation):
+        bit = (idx >> new_var) & 1
+        if (transform.input_negation_mask >> old_var) & 1:
+            bit ^= 1
+        old |= bit << old_var
+    values = table.values[old]
+    if transform.output_negate:
+        values = ~values
+    return TruthTable(n, values)
+
+
+def npn_canonical(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
+    """The lexicographically-minimal NPN representative and its witness."""
+    n = table.n
+    if n > 5:
+        raise ValueError("exhaustive NPN canonicalisation supports n <= 5")
+    best: TruthTable | None = None
+    best_key: bytes | None = None
+    best_transform: NpnTransform | None = None
+    for perm in permutations(range(n)):
+        for neg_mask in range(1 << n):
+            for out_neg in (False, True):
+                transform = NpnTransform(perm, neg_mask, out_neg)
+                candidate = apply_transform(table, transform)
+                key = candidate.values.tobytes()
+                if best_key is None or key < best_key:
+                    best, best_key, best_transform = candidate, key, transform
+    assert best is not None and best_transform is not None
+    return best, best_transform
+
+
+def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
+    """True when the two functions are in the same NPN class."""
+    if a.n != b.n:
+        return False
+    return npn_canonical(a)[0] == npn_canonical(b)[0]
+
+
+def npn_classes(tables: list[TruthTable]) -> dict[TruthTable, list[TruthTable]]:
+    """Group functions by NPN class (keyed by the canonical form)."""
+    classes: dict[TruthTable, list[TruthTable]] = {}
+    for table in tables:
+        canonical, _ = npn_canonical(table)
+        classes.setdefault(canonical, []).append(table)
+    return classes
+
+
+def count_npn_classes(n: int) -> int:
+    """Number of NPN classes of all n-variable functions (n <= 3 feasible)."""
+    if n > 3:
+        raise ValueError("full-space class counting is exponential; use n <= 3")
+    seen: set[bytes] = set()
+    for bits in range(1 << (1 << n)):
+        canonical, _ = npn_canonical(TruthTable.from_bits(n, bits))
+        seen.add(canonical.values.tobytes())
+    return len(seen)

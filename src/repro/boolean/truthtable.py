@@ -1,0 +1,280 @@
+"""Dense truth tables backed by numpy boolean arrays.
+
+A :class:`TruthTable` stores the value of a Boolean function for all ``2^n``
+assignments; index ``m`` holds ``f(m)`` where bit ``i`` of ``m`` is the value
+of variable ``x_i``.  Truth tables are the semantic ground truth of the
+package: synthesis results (two-terminal arrays, lattices, decompositions)
+are all validated by comparing their evaluated truth tables.
+
+Tables are practical for ``n`` up to about 20; all functions in the DATE'17
+experiments have far fewer inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .cube import Cube
+
+#: Largest variable count for which dense tables are allowed.
+MAX_DENSE_VARS = 24
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise ValueError("variable count must be non-negative")
+    if n > MAX_DENSE_VARS:
+        raise ValueError(
+            f"dense truth tables support at most {MAX_DENSE_VARS} variables, got {n}"
+        )
+
+
+class TruthTable:
+    """An immutable dense truth table over ``n`` variables."""
+
+    __slots__ = ("n", "_values")
+
+    def __init__(self, n: int, values: np.ndarray | Sequence[bool] | Sequence[int]):
+        _check_n(n)
+        arr = np.asarray(values, dtype=bool)
+        if arr.shape != (1 << n,):
+            raise ValueError(
+                f"expected {1 << n} entries for {n} variables, got shape {arr.shape}"
+            )
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "_values", arr)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TruthTable is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(n: int, value: bool) -> "TruthTable":
+        """The constant-0 or constant-1 function."""
+        _check_n(n)
+        return TruthTable(n, np.full(1 << n, bool(value)))
+
+    @staticmethod
+    def variable(n: int, var: int) -> "TruthTable":
+        """The projection function ``f(x) = x_var``."""
+        _check_n(n)
+        if not 0 <= var < n:
+            raise ValueError(f"variable {var} out of range for n={n}")
+        idx = np.arange(1 << n)
+        return TruthTable(n, ((idx >> var) & 1).astype(bool))
+
+    @staticmethod
+    def from_minterms(n: int, minterms: Iterable[int]) -> "TruthTable":
+        """Build from an iterable of on-set minterms."""
+        _check_n(n)
+        arr = np.zeros(1 << n, dtype=bool)
+        for m in minterms:
+            if not 0 <= m < (1 << n):
+                raise ValueError(f"minterm {m} out of range for n={n}")
+            arr[m] = True
+        return TruthTable(n, arr)
+
+    @staticmethod
+    def from_callable(n: int, fn: Callable[[int], bool]) -> "TruthTable":
+        """Build by evaluating ``fn`` on every assignment (slow but general)."""
+        _check_n(n)
+        return TruthTable(n, np.fromiter((bool(fn(m)) for m in range(1 << n)),
+                                         dtype=bool, count=1 << n))
+
+    @staticmethod
+    def from_cubes(n: int, cubes: Iterable[Cube]) -> "TruthTable":
+        """OR of a set of cubes, evaluated with vectorised mask tests."""
+        _check_n(n)
+        idx = np.arange(1 << n)
+        arr = np.zeros(1 << n, dtype=bool)
+        for cube in cubes:
+            if cube.n != n:
+                raise ValueError("cube dimension mismatch")
+            hit = np.ones(1 << n, dtype=bool)
+            if cube.pos:
+                hit &= (idx & cube.pos) == cube.pos
+            if cube.neg:
+                hit &= (idx & cube.neg) == 0
+            arr |= hit
+        return TruthTable(n, arr)
+
+    @staticmethod
+    def from_bits(n: int, bits: int) -> "TruthTable":
+        """Build from an integer whose bit ``m`` is ``f(m)``."""
+        _check_n(n)
+        idx = np.arange(1 << n)
+        if n <= 6:
+            arr = ((bits >> idx) & 1).astype(bool)
+        else:
+            arr = np.fromiter((((bits >> int(m)) & 1) for m in idx),
+                              dtype=bool, count=1 << n)
+        return TruthTable(n, arr)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only numpy view of the 2^n values."""
+        return self._values
+
+    @property
+    def bits(self) -> int:
+        """The table packed into a Python int (bit ``m`` = ``f(m)``)."""
+        result = 0
+        for m in np.flatnonzero(self._values):
+            result |= 1 << int(m)
+        return result
+
+    def __call__(self, assignment: int) -> bool:
+        return bool(self._values[assignment])
+
+    def evaluate(self, assignment: int) -> bool:
+        """Value of the function at one assignment."""
+        return bool(self._values[assignment])
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate the on-set minterms in increasing order."""
+        for m in np.flatnonzero(self._values):
+            yield int(m)
+
+    def count_ones(self) -> int:
+        """Size of the on-set."""
+        return int(self._values.sum())
+
+    def is_constant(self) -> bool:
+        """True for the two constant functions."""
+        ones = self.count_ones()
+        return ones == 0 or ones == (1 << self.n)
+
+    def is_tautology(self) -> bool:
+        return bool(self._values.all())
+
+    def is_contradiction(self) -> bool:
+        return not self._values.any()
+
+    def depends_on(self, var: int) -> bool:
+        """True when the function actually depends on ``x_var``."""
+        return self.cofactor(var, False) != self.cofactor(var, True)
+
+    def support(self) -> list[int]:
+        """Indices of the variables the function depends on."""
+        return [v for v in range(self.n) if self.depends_on(v)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self._values, other._values))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._values.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.n <= 6:
+            body = "".join("1" if v else "0" for v in self._values)
+            return f"TruthTable(n={self.n}, {body})"
+        return f"TruthTable(n={self.n}, |on|={self.count_ones()})"
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "TruthTable") -> None:
+        if not isinstance(other, TruthTable):
+            raise TypeError(f"expected TruthTable, got {type(other).__name__}")
+        if other.n != self.n:
+            raise ValueError("operands live in different variable spaces")
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._coerce(other)
+        return TruthTable(self.n, self._values & other._values)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._coerce(other)
+        return TruthTable(self.n, self._values | other._values)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._coerce(other)
+        return TruthTable(self.n, self._values ^ other._values)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n, ~self._values)
+
+    def implies(self, other: "TruthTable") -> bool:
+        """True iff the on-set of ``self`` is contained in ``other``'s."""
+        self._coerce(other)
+        return bool((~self._values | other._values).all())
+
+    def difference(self, other: "TruthTable") -> "TruthTable":
+        """On-set difference ``self & ~other``."""
+        self._coerce(other)
+        return TruthTable(self.n, self._values & ~other._values)
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def dual(self) -> "TruthTable":
+        """The dual function ``f^D(x) = ~f(~x)``.
+
+        Duality is the engine of both the FET plane sizes (Fig. 3) and the
+        lattice row count (Fig. 5).
+        """
+        idx = np.arange(1 << self.n) ^ ((1 << self.n) - 1)
+        return TruthTable(self.n, ~self._values[idx])
+
+    def is_self_dual(self) -> bool:
+        """True when ``f = f^D``."""
+        return self == self.dual()
+
+    def cofactor(self, var: int, value: bool) -> "TruthTable":
+        """Shannon cofactor as a function of the remaining n-1 variables."""
+        if not 0 <= var < self.n:
+            raise ValueError(f"variable {var} out of range for n={self.n}")
+        idx = np.arange(1 << (self.n - 1))
+        low = idx & ((1 << var) - 1)
+        high = (idx >> var) << (var + 1)
+        full = high | low | ((1 << var) if value else 0)
+        return TruthTable(self.n - 1, self._values[full])
+
+    def restrict(self, var: int, value: bool) -> "TruthTable":
+        """Cofactor that stays in the n-variable space (x_var ignored)."""
+        idx = np.arange(1 << self.n)
+        forced = (idx & ~(1 << var)) | ((1 << var) if value else 0)
+        return TruthTable(self.n, self._values[forced])
+
+    def compose_variable(self, var: int, table: "TruthTable") -> "TruthTable":
+        """Substitute ``x_var := g(x)`` where ``g`` is over the same space."""
+        self._coerce(table)
+        idx = np.arange(1 << self.n)
+        forced = (idx & ~(1 << var)) | (table._values.astype(np.int64) << var)
+        return TruthTable(self.n, self._values[forced])
+
+    def permute(self, perm: Sequence[int]) -> "TruthTable":
+        """Reorder variables: new variable ``i`` is old variable ``perm[i]``."""
+        if sorted(perm) != list(range(self.n)):
+            raise ValueError("perm must be a permutation of range(n)")
+        idx = np.arange(1 << self.n)
+        old = np.zeros(1 << self.n, dtype=np.int64)
+        for new_var, old_var in enumerate(perm):
+            old |= ((idx >> new_var) & 1) << old_var
+        return TruthTable(self.n, self._values[old])
+
+    def extend(self, extra: int) -> "TruthTable":
+        """Add ``extra`` fresh (ignored) variables above the current ones."""
+        if extra < 0:
+            raise ValueError("extra must be >= 0")
+        _check_n(self.n + extra)
+        return TruthTable(self.n + extra, np.tile(self._values, 1 << extra))
+
+    def shannon(self, var: int) -> tuple["TruthTable", "TruthTable"]:
+        """Return (negative cofactor, positive cofactor) for ``x_var``."""
+        return self.cofactor(var, False), self.cofactor(var, True)
+
+    def minterm_cubes(self) -> list[Cube]:
+        """The canonical (minterm) cover of the on-set."""
+        return [Cube.from_minterm(self.n, m) for m in self.minterms()]

@@ -1,0 +1,115 @@
+"""Diode-based (two-terminal) crossbar arrays (Section III-A, Fig. 3).
+
+Diode-resistor logic: the array has one horizontal nanowire (row) per
+product of the SOP cover and one vertical nanowire (column) per distinct
+literal, plus one extra output column.  A programmed crosspoint places a
+diode between a product row and a literal column; the row computes the
+wired-AND of its connected literal columns, and the output column computes
+the wired-OR of all product rows.
+
+Size formula (Fig. 3): ``rows = #products(f)``,
+``cols = #distinct-literals(f) + 1`` — optimal for a given SOP cover.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Literal
+from ..boolean.truthtable import TruthTable
+
+
+class DiodeCrossbar:
+    """A diode crossbar programmed to implement one SOP cover."""
+
+    def __init__(self, cover: Cover):
+        if cover.num_products == 0:
+            raise ValueError(
+                "a diode array needs at least one product; constant-0 needs no array"
+            )
+        self.cover = cover
+        self.n = cover.n
+        self.literals: list[Literal] = cover.distinct_literals()
+        self._literal_col = {lit: j for j, lit in enumerate(self.literals)}
+        # connections[r][c] == True iff a diode joins product row r to
+        # literal column c.
+        self.connections: list[list[bool]] = []
+        for cube in cover:
+            row = [False] * len(self.literals)
+            for lit in cube.literals():
+                row[self._literal_col[lit]] = True
+            self.connections.append(row)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Product rows (horizontal nanowires)."""
+        return len(self.connections)
+
+    @property
+    def num_cols(self) -> int:
+        """Literal columns plus the output column."""
+        return len(self.literals) + 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def area(self) -> int:
+        return self.num_rows * self.num_cols
+
+    @property
+    def num_crosspoints_programmed(self) -> int:
+        """Programmed diodes, including the row-to-output junctions."""
+        return sum(sum(row) for row in self.connections) + self.num_rows
+
+    def __repr__(self) -> str:
+        return f"DiodeCrossbar({self.num_rows}x{self.num_cols}, n={self.n})"
+
+    # ------------------------------------------------------------------
+    def row_value(self, r: int, assignment: int,
+                  connection_override: Callable[[int, int, bool], bool] | None = None
+                  ) -> bool:
+        """Wired-AND of the literal columns connected to row ``r``."""
+        for c, lit in enumerate(self.literals):
+            connected = self.connections[r][c]
+            if connection_override is not None:
+                connected = connection_override(r, c, connected)
+            if connected and not lit.evaluate(assignment):
+                return False
+        return True
+
+    def evaluate(self, assignment: int,
+                 connection_override: Callable[[int, int, bool], bool] | None = None
+                 ) -> bool:
+        """Wired-OR of the product rows."""
+        return any(
+            self.row_value(r, assignment, connection_override)
+            for r in range(self.num_rows)
+        )
+
+    def to_truth_table(self) -> TruthTable:
+        return TruthTable.from_callable(self.n, self.evaluate)
+
+    def implements(self, table: TruthTable) -> bool:
+        if table.n != self.n:
+            raise ValueError("variable space mismatch")
+        return self.to_truth_table() == table
+
+    # ------------------------------------------------------------------
+    def render(self, names: Sequence[str] | None = None) -> str:
+        """ASCII array: one line per product row, ``X`` marks a diode."""
+        headers = [lit.name(names) for lit in self.literals] + ["out"]
+        width = max(len(h) for h in headers)
+        lines = [" ".join(h.rjust(width) for h in headers)]
+        for row in self.connections:
+            marks = ["X" if cell else "." for cell in row] + ["X"]
+            lines.append(" ".join(m.rjust(width) for m in marks))
+        return "\n".join(lines)
+
+
+def diode_size_formula(cover: Cover) -> tuple[int, int]:
+    """Fig. 3 size formula for diode arrays: (products, literals + 1)."""
+    return cover.num_products, cover.num_distinct_literals + 1

@@ -1,0 +1,70 @@
+"""Grid geometry helpers shared by the crossbar models.
+
+Coordinates are ``(row, col)`` with row 0 at the TOP of the array.  The
+four-terminal lattice conducts through 4-adjacent ON sites; the blocking
+(percolation-dual) paths use 8-adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: 4-neighbourhood offsets (von Neumann).
+OFFSETS_4 = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+#: 8-neighbourhood offsets (Moore).
+OFFSETS_8 = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+
+def in_bounds(rows: int, cols: int, r: int, c: int) -> bool:
+    """True when (r, c) lies inside an rows x cols grid."""
+    return 0 <= r < rows and 0 <= c < cols
+
+
+def neighbors4(rows: int, cols: int, r: int, c: int) -> Iterator[tuple[int, int]]:
+    """4-adjacent in-bounds neighbours."""
+    for dr, dc in OFFSETS_4:
+        nr, nc = r + dr, c + dc
+        if in_bounds(rows, cols, nr, nc):
+            yield nr, nc
+
+
+def neighbors8(rows: int, cols: int, r: int, c: int) -> Iterator[tuple[int, int]]:
+    """8-adjacent in-bounds neighbours."""
+    for dr, dc in OFFSETS_8:
+        nr, nc = r + dr, c + dc
+        if in_bounds(rows, cols, nr, nc):
+            yield nr, nc
+
+
+class DisjointSet:
+    """Union-find with path compression (percolation checks)."""
+
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+        self.rank = [0] * size
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)

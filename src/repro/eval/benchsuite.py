@@ -1,0 +1,266 @@
+"""The benchmark suite driving every experiment table.
+
+The lattice-synthesis papers ([2],[5],[6],[9]) evaluate on MCNC/espresso
+PLAs.  Those files are not redistributable here, so the suite consists of
+*programmatically defined* functions spanning the same regimes:
+
+* symmetric functions (parities, majorities, interval/threshold functions —
+  the rd53/9sym family is symmetric, so these exercise identical structure);
+* arithmetic slices (full-adder sum/carry, comparator bits, multiplexers);
+* the worked examples of the paper itself (Fig. 4 function, XNOR);
+* D-reducible functions (on-sets confined to affine subspaces);
+* a few fixed PLA covers embedded as text.
+
+Every entry records tags so experiments can select suitable subsets
+(e.g. only D-reducible functions for the Section III-B.2 table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from ..boolean.function import BooleanFunction
+from ..boolean.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named benchmark function with selection tags."""
+
+    name: str
+    function: BooleanFunction
+    description: str
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def n(self) -> int:
+        return self.function.n
+
+
+def _symmetric(n: int, levels: Iterable[int]) -> TruthTable:
+    """Symmetric function: 1 when popcount(x) is in ``levels``."""
+    level_set = set(levels)
+    return TruthTable.from_callable(n, lambda m: bin(m).count("1") in level_set)
+
+
+def _parity(n: int) -> TruthTable:
+    return TruthTable.from_callable(n, lambda m: bin(m).count("1") % 2 == 1)
+
+
+def _majority(n: int) -> TruthTable:
+    return TruthTable.from_callable(n, lambda m: bin(m).count("1") > n // 2)
+
+
+def _threshold(n: int, k: int) -> TruthTable:
+    return TruthTable.from_callable(n, lambda m: bin(m).count("1") >= k)
+
+
+def _mux(select_bits: int) -> TruthTable:
+    """2^s-to-1 multiplexer: selects occupy the low bits, data follow."""
+    data = 1 << select_bits
+    n = select_bits + data
+
+    def value(m: int) -> bool:
+        sel = m & ((1 << select_bits) - 1)
+        return bool((m >> (select_bits + sel)) & 1)
+
+    return TruthTable.from_callable(n, value)
+
+
+def _full_adder_sum() -> TruthTable:
+    return TruthTable.from_callable(3, lambda m: bin(m).count("1") % 2 == 1)
+
+
+def _full_adder_carry() -> TruthTable:
+    return TruthTable.from_callable(3, lambda m: bin(m).count("1") >= 2)
+
+
+def _equality(width: int) -> TruthTable:
+    n = 2 * width
+
+    def value(m: int) -> bool:
+        a = m & ((1 << width) - 1)
+        b = m >> width
+        return a == b
+
+    return TruthTable.from_callable(n, value)
+
+
+def _greater_than(width: int) -> TruthTable:
+    n = 2 * width
+
+    def value(m: int) -> bool:
+        a = m & ((1 << width) - 1)
+        b = m >> width
+        return a > b
+
+    return TruthTable.from_callable(n, value)
+
+
+def _one_hot(n: int) -> TruthTable:
+    return TruthTable.from_callable(n, lambda m: bin(m).count("1") == 1)
+
+
+def _dreducible_parity_slice(n: int) -> TruthTable:
+    """A D-reducible function: a product confined to the even-parity space."""
+
+    def value(m: int) -> bool:
+        if bin(m).count("1") % 2 != 0:
+            return False
+        return bool(m & 1) or bool((m >> 1) & 1)
+
+    return TruthTable.from_callable(n, value)
+
+
+def _dreducible_affine_cube(n: int) -> TruthTable:
+    """On-set inside the affine space x0 ^ x1 = 1, x2 = 1."""
+
+    def value(m: int) -> bool:
+        if ((m & 1) ^ ((m >> 1) & 1)) != 1 or not ((m >> 2) & 1):
+            return False
+        return bin(m >> 3).count("1") % 2 == 0
+
+    return TruthTable.from_callable(n, value)
+
+
+def _dreducible_or_slice(n: int) -> TruthTable:
+    """OR of the free variables inside x0 = 1, x1 ^ x2 = 1.
+
+    Small-support constraints: the regime where [6] reports wins, because
+    chi_A is cheap while the projection loses the dropped dimensions.
+    """
+
+    def value(m: int) -> bool:
+        if not (m & 1) or (((m >> 1) & 1) ^ ((m >> 2) & 1)) != 1:
+            return False
+        return (m >> 3) != 0
+
+    return TruthTable.from_callable(n, value)
+
+
+def _dreducible_neq_slice(n: int) -> TruthTable:
+    """'Free variables not all equal' inside x0 = 1, x1 ^ x2 = 1."""
+
+    def value(m: int) -> bool:
+        if not (m & 1) or (((m >> 1) & 1) ^ ((m >> 2) & 1)) != 1:
+            return False
+        free = m >> 3
+        return free not in (0, (1 << (n - 3)) - 1)
+
+    return TruthTable.from_callable(n, value)
+
+
+_FIG4_EXPR = "x1 x2 x3 + x1 x2 x5 x6 + x2 x3 x4 x5 + x4 x5 x6"
+
+#: An embedded PLA cover (an espresso-style benchmark shape: two outputs
+#: sharing inputs; output 0 is used as the single-output benchmark).
+_PLA_MISC = """\
+.i 5
+.o 1
+.p 7
+11--- 1
+--11- 1
+1--01 1
+0-1-1 1
+-0-11 1
+010-0 1
+00--1 1
+.e
+"""
+
+
+@lru_cache(maxsize=1)
+def standard_suite() -> tuple[Benchmark, ...]:
+    """The default benchmark collection (deterministic order)."""
+    entries: list[Benchmark] = []
+
+    def add(name: str, table: TruthTable, description: str, *tags: str) -> None:
+        entries.append(Benchmark(
+            name=name,
+            function=BooleanFunction.from_truth_table(table, label=name),
+            description=description,
+            tags=frozenset(tags),
+        ))
+
+    # Paper worked examples -------------------------------------------------
+    entries.append(Benchmark(
+        "xnor2", BooleanFunction.from_expression("x1 x2 + x1' x2'", label="xnor2"),
+        "Section III worked example f = x1x2 + x1'x2'", frozenset({"paper", "small"}),
+    ))
+    entries.append(Benchmark(
+        "fig4", BooleanFunction.from_expression(_FIG4_EXPR, label="fig4"),
+        "Fig. 4 lattice example", frozenset({"paper"}),
+    ))
+
+    # Symmetric family (rd53/9sym regime) -----------------------------------
+    add("xor3", _parity(3), "3-input parity", "symmetric", "self-dual", "small")
+    add("xor4", _parity(4), "4-input parity", "symmetric")
+    add("xor5", _parity(5), "5-input parity (rd53 output 0)", "symmetric")
+    add("maj3", _majority(3), "3-input majority", "symmetric", "self-dual", "small")
+    add("maj5", _majority(5), "5-input majority", "symmetric", "self-dual")
+    add("thr4_2", _threshold(4, 2), "at least 2 of 4", "symmetric")
+    add("sym5_23", _symmetric(5, [2, 3]), "exactly 2-3 of 5 (rd53-style interval)",
+        "symmetric")
+    add("sym6_2", _symmetric(6, [2]), "exactly 2 of 6", "symmetric")
+    add("onehot4", _one_hot(4), "1-hot detector over 4 inputs", "symmetric")
+
+    # Arithmetic slices ------------------------------------------------------
+    add("fa_sum", _full_adder_sum(), "full-adder sum bit", "arithmetic", "small")
+    add("fa_carry", _full_adder_carry(), "full-adder carry bit",
+        "arithmetic", "self-dual", "small")
+    add("mux2", _mux(1), "2:1 multiplexer", "arithmetic", "small")
+    add("mux4", _mux(2), "4:1 multiplexer", "arithmetic")
+    add("eq2", _equality(2), "2-bit equality", "arithmetic")
+    add("gt2", _greater_than(2), "2-bit greater-than", "arithmetic")
+    add("eq3", _equality(3), "3-bit equality", "arithmetic", "large")
+
+    # D-reducible family -----------------------------------------------------
+    add("dred4", _dreducible_parity_slice(4),
+        "even-parity-space slice, 4 vars", "d-reducible")
+    add("dred5", _dreducible_parity_slice(5),
+        "even-parity-space slice, 5 vars", "d-reducible")
+    add("dred_affine5", _dreducible_affine_cube(5),
+        "affine-space-confined function, 5 vars", "d-reducible")
+    add("dred_affine6", _dreducible_affine_cube(6),
+        "affine-space-confined function, 6 vars", "d-reducible", "large")
+    add("dred_or5", _dreducible_or_slice(5),
+        "OR slice in a small-support affine space, 5 vars", "d-reducible")
+    add("dred_or6", _dreducible_or_slice(6),
+        "OR slice in a small-support affine space, 6 vars",
+        "d-reducible", "large")
+    add("dred_neq5", _dreducible_neq_slice(5),
+        "not-all-equal slice in a small-support affine space, 5 vars",
+        "d-reducible")
+
+    # Embedded PLA -----------------------------------------------------------
+    entries.append(Benchmark(
+        "pla5", BooleanFunction.from_pla_text(_PLA_MISC, label="pla5"),
+        "embedded 5-input PLA cover", frozenset({"pla"}),
+    ))
+    return tuple(entries)
+
+
+def suite(tags: Sequence[str] | None = None,
+          exclude: Sequence[str] | None = None,
+          max_vars: int | None = None) -> list[Benchmark]:
+    """Select benchmarks by tags and size."""
+    selected = list(standard_suite())
+    if tags:
+        wanted = set(tags)
+        selected = [b for b in selected if b.tags & wanted]
+    if exclude:
+        banned = set(exclude)
+        selected = [b for b in selected if not (b.tags & banned)]
+    if max_vars is not None:
+        selected = [b for b in selected if b.n <= max_vars]
+    return selected
+
+
+def by_name(name: str) -> Benchmark:
+    """Look one benchmark up by name."""
+    for benchmark in standard_suite():
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"no benchmark named {name!r}")

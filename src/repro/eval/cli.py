@@ -1,0 +1,135 @@
+"""Command-line interface: run paper experiments from the shell.
+
+::
+
+    nanoxbar list                 # enumerate experiments
+    nanoxbar run fig5             # one experiment (full sweep)
+    nanoxbar run fig5 --fast      # reduced sweep
+    nanoxbar all --fast           # everything
+    nanoxbar bench xnor2          # inspect one benchmark function
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .benchsuite import by_name, standard_suite
+from .experiments import all_experiments, get_experiment
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment in all_experiments():
+        print(f"{experiment.experiment_id:12s} {experiment.title}  "
+              f"[{experiment.paper_ref}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    result = experiment.run(args.fast)
+    print(result.render())
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for experiment in all_experiments():
+        result = experiment.run(args.fast)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from ..boolean import BooleanFunction
+    from ..synthesis import (
+        optimize_lattice,
+        synthesize_diode,
+        synthesize_fet,
+        synthesize_lattice_dual,
+        synthesize_lattice_optimal,
+    )
+
+    f = BooleanFunction.from_expression(args.expression)
+    print(f"f = {f.to_expression()}   (n = {f.n})")
+    style = args.style
+    if style in ("diode", "all"):
+        diode = synthesize_diode(f.on)
+        print(f"\ndiode array {diode.num_rows} x {diode.num_cols}:")
+        print(diode.render(f.names))
+    if style in ("fet", "all"):
+        fet = synthesize_fet(f.on)
+        print(f"\nFET array {fet.num_rows} x {fet.num_cols}:")
+        print(fet.render(f.names))
+    if style in ("lattice", "all"):
+        lattice = synthesize_lattice_dual(f.on)
+        folded = optimize_lattice(lattice, f.on).lattice
+        print(f"\nlattice {lattice.rows} x {lattice.cols} "
+              f"(folded: {folded.rows} x {folded.cols}):")
+        print(folded.render(f.names))
+    if style == "optimal":
+        result = synthesize_lattice_optimal(f.on)
+        print(f"\noptimal lattice {result.shape[0]} x {result.shape[1]} "
+              f"(proved: {result.proved_optimal}):")
+        print(result.lattice.render(f.names))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.name is None:
+        for benchmark in standard_suite():
+            tags = ",".join(sorted(benchmark.tags))
+            print(f"{benchmark.name:14s} n={benchmark.n}  [{tags}]  "
+                  f"{benchmark.description}")
+        return 0
+    benchmark = by_name(args.name)
+    f = benchmark.function
+    print(f"{benchmark.name}: {benchmark.description}")
+    print(f"  n = {f.n}, |on| = {f.on.count_ones()}")
+    print(f"  minimized SOP: {f.to_expression()}")
+    metrics = f.sop_metrics()
+    print(f"  products = {metrics['products']}, "
+          f"dual products = {metrics['dual_products']}, "
+          f"distinct literals = {metrics['distinct_literals']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nanoxbar",
+        description="Nano-crossbar synthesis & fault tolerance experiments "
+                    "(Altun, Ciriani, Tahoori — DATE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (see `list`)")
+    run.add_argument("--fast", action="store_true", help="reduced sweep")
+    run.set_defaults(fn=_cmd_run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--fast", action="store_true", help="reduced sweeps")
+    everything.set_defaults(fn=_cmd_all)
+
+    bench = sub.add_parser("bench", help="inspect benchmark functions")
+    bench.add_argument("name", nargs="?", default=None)
+    bench.set_defaults(fn=_cmd_bench)
+
+    synth = sub.add_parser("synth", help="synthesize an expression")
+    synth.add_argument("expression", help="e.g. \"x1 x2 + x1' x2'\"")
+    synth.add_argument("--style", default="all",
+                       choices=["all", "diode", "fet", "lattice", "optimal"])
+    synth.set_defaults(fn=_cmd_synth)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

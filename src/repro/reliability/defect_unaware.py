@@ -1,0 +1,226 @@
+"""Application-independent defect-unaware design flow (Section IV-C, Fig. 6).
+
+Instead of re-running defect-aware mapping per application (Fig. 6a), the
+defect-unaware flow (Fig. 6b) extracts — once per chip — a *universal*
+defect-free ``k x k`` sub-crossbar from each defective ``N x N`` crossbar.
+Afterwards every application maps into the clean region with **no** defect
+knowledge: the stored map shrinks from ``O(N^2)`` crosspoint states to the
+``O(N)`` list of excluded lines, and per-application mapping cost drops to
+zero test sessions.
+
+Finding the maximum clean ``k x k`` submatrix is NP-hard in general
+(maximum balanced biclique); the module provides an exact branch-and-bound
+for small crossbars (used to validate) and a greedy worst-line-elimination
+heuristic with local re-insertion for large ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .defects import DefectMap, random_defect_map
+
+
+@dataclass(frozen=True)
+class CleanSubarray:
+    """A defect-free selection of physical rows and columns."""
+
+    rows: tuple[int, ...]
+    cols: tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        """Side of the largest square inside the selection."""
+        return min(len(self.rows), len(self.cols))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.cols))
+
+
+def is_clean(defect_map: DefectMap, rows: Sequence[int], cols: Sequence[int]) -> bool:
+    """Every selected crosspoint is defect-free (universal usability)."""
+    return defect_map.is_clean(list(rows), list(cols))
+
+
+# ----------------------------------------------------------------------
+# Greedy heuristic
+# ----------------------------------------------------------------------
+def greedy_clean_subarray(defect_map: DefectMap) -> CleanSubarray:
+    """Worst-line elimination followed by re-insertion.
+
+    Repeatedly removes the row or column with the most defects in the
+    remaining selection (ties: keep the selection square-ish) until no
+    defects remain, then tries to re-add removed lines that happen to be
+    clean w.r.t. the final selection.
+    """
+    rows = set(range(defect_map.rows))
+    cols = set(range(defect_map.cols))
+    live = {(r, c) for (r, c) in defect_map.defects}
+    while live:
+        row_counts: dict[int, int] = {}
+        col_counts: dict[int, int] = {}
+        for r, c in live:
+            row_counts[r] = row_counts.get(r, 0) + 1
+            col_counts[c] = col_counts.get(c, 0) + 1
+        worst_row = max(row_counts, key=lambda r: row_counts[r])
+        worst_col = max(col_counts, key=lambda c: col_counts[c])
+        # Prefer the line clearing more defects; tie-break toward keeping
+        # the selection balanced.
+        remove_row = (
+            row_counts[worst_row],
+            len(rows) - len(cols),
+        ) >= (
+            col_counts[worst_col],
+            len(cols) - len(rows),
+        )
+        if remove_row:
+            rows.discard(worst_row)
+            live = {(r, c) for (r, c) in live if r != worst_row}
+        else:
+            cols.discard(worst_col)
+            live = {(r, c) for (r, c) in live if c != worst_col}
+    # Re-insertion pass: a removed line may be clean against the survivors.
+    for r in sorted(set(range(defect_map.rows)) - rows):
+        if all((r, c) not in defect_map.defects for c in cols):
+            rows.add(r)
+    for c in sorted(set(range(defect_map.cols)) - cols):
+        if all((r, c) not in defect_map.defects for r in rows):
+            cols.add(c)
+    return CleanSubarray(tuple(sorted(rows)), tuple(sorted(cols)))
+
+
+# ----------------------------------------------------------------------
+# Exact branch-and-bound (validation for small crossbars)
+# ----------------------------------------------------------------------
+def max_clean_square_exact(defect_map: DefectMap,
+                           node_budget: int = 2_000_000) -> CleanSubarray:
+    """Maximum clean square via DFS over row subsets with column masks.
+
+    Exponential in the worst case; intended for ``N`` up to ~14 (the
+    validation regime).  ``node_budget`` caps the search defensively.
+    """
+    n_rows, n_cols = defect_map.rows, defect_map.cols
+    full_cols = (1 << n_cols) - 1
+    clean_cols = []
+    for r in range(n_rows):
+        mask = full_cols
+        for c in range(n_cols):
+            if not defect_map.is_ok(r, c):
+                mask &= ~(1 << c)
+        clean_cols.append(mask)
+    order = sorted(range(n_rows), key=lambda r: -bin(clean_cols[r]).count("1"))
+    best_k = 0
+    best_rows: tuple[int, ...] = ()
+    best_mask = 0
+    nodes = 0
+
+    def dfs(idx: int, chosen: list[int], col_mask: int) -> None:
+        nonlocal best_k, best_rows, best_mask, nodes
+        nodes += 1
+        if nodes > node_budget:
+            return
+        width = bin(col_mask).count("1")
+        k_here = min(len(chosen), width)
+        if k_here > best_k:
+            best_k = k_here
+            best_rows = tuple(chosen)
+            best_mask = col_mask
+        # Upper bound: all remaining rows joined, width can only shrink.
+        if min(len(chosen) + (n_rows - idx), width) <= best_k:
+            return
+        for next_idx in range(idx, n_rows):
+            row = order[next_idx]
+            new_mask = col_mask & clean_cols[row]
+            if bin(new_mask).count("1") <= best_k:
+                continue
+            chosen.append(row)
+            dfs(next_idx + 1, chosen, new_mask)
+            chosen.pop()
+
+    dfs(0, [], full_cols)
+    cols = tuple(c for c in range(n_cols) if (best_mask >> c) & 1)[:best_k]
+    rows = tuple(sorted(best_rows))[:best_k]
+    return CleanSubarray(rows, cols)
+
+
+# ----------------------------------------------------------------------
+# Flow comparison (the Fig. 6 experiment)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlowComparison:
+    """Defect-aware vs defect-unaware flow metrics for one chip."""
+
+    n: int
+    density: float
+    recovered_k: int
+    #: crosspoint states the defect-aware flow must store (O(N^2))
+    aware_map_words: int
+    #: excluded-line list the defect-unaware flow stores (O(N))
+    unaware_map_words: int
+    #: average BIST sessions to map one application, defect-aware
+    aware_sessions_per_app: float
+    #: test sessions to map one application in the clean region
+    unaware_sessions_per_app: float
+
+
+def defect_unaware_flow(defect_map: DefectMap,
+                        app_rows: int, app_cols: int,
+                        rng: random.Random,
+                        applications: int = 10,
+                        max_retries: int = 500) -> FlowComparison:
+    """Compare the two Fig. 6 flows on one crossbar.
+
+    The defect-aware flow runs blind self-mapping (random placement + BIST)
+    per application on the raw crossbar; the defect-unaware flow extracts a
+    clean subarray once, then places applications directly when they fit.
+    """
+    from .bism import as_program, blind_bism
+
+    clean = greedy_clean_subarray(defect_map)
+    # Per-application defect-aware cost: average over random "applications"
+    # that request app_rows x app_cols with a random program pattern.
+    sessions = []
+    for _ in range(applications):
+        program = as_program([
+            [rng.random() < 0.5 for _ in range(app_cols)]
+            for _ in range(app_rows)
+        ])
+        result = blind_bism(program, defect_map, rng, max_retries=max_retries)
+        sessions.append(result.bist_sessions if result.success else max_retries)
+    aware_sessions = sum(sessions) / len(sessions)
+    fits = clean.k >= max(app_rows, app_cols) or (
+        len(clean.rows) >= app_rows and len(clean.cols) >= app_cols
+    )
+    return FlowComparison(
+        n=defect_map.rows,
+        density=defect_map.density,
+        recovered_k=clean.k,
+        aware_map_words=defect_map.rows * defect_map.cols,
+        unaware_map_words=(defect_map.rows - len(clean.rows))
+        + (defect_map.cols - len(clean.cols)) + 2,
+        aware_sessions_per_app=aware_sessions,
+        unaware_sessions_per_app=0.0 if fits else float(max_retries),
+    )
+
+
+def recovery_sweep(n: int, densities: Sequence[float], trials: int,
+                   rng: random.Random) -> list[dict]:
+    """Average recovered k/N per density (the Fig. 6b headline curve)."""
+    rows = []
+    for density in densities:
+        ks = []
+        for _ in range(trials):
+            defect_map = random_defect_map(n, n, density, rng)
+            ks.append(greedy_clean_subarray(defect_map).k)
+        rows.append({
+            "N": n,
+            "density": density,
+            "avg_k": sum(ks) / trials,
+            "k_over_n": sum(ks) / trials / n,
+            "min_k": min(ks),
+            "max_k": max(ks),
+        })
+    return rows

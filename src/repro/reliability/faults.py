@@ -1,0 +1,217 @@
+"""Logic-level fault models and the fault simulator (Section IV-A).
+
+The BIST/BISD flows operate on a *reconfigurable crossbar fabric*: ``R`` row
+(output) wires crossing ``C`` column (input) wires, each crosspoint holding
+a programmable switch.  A configuration programs a subset of crosspoints;
+in the diode-logic read-out used here, each row output is the wired-AND of
+the inputs on its programmed columns (one product term per row — the
+"single-term functions" of the paper's test method), all rows observable.
+
+Fault universe (the paper's stuck-at, bridging, open and functional
+classes):
+
+* ``CrosspointStuckOpen`` / ``CrosspointStuckClosed`` — functional switch
+  faults (the same physical classes the BISM defect maps use);
+* ``LineStuckAt`` — an input column or output row stuck at 0/1 (line opens
+  behave as stuck lines at this abstraction and are folded in);
+* ``BridgeFault`` — two *adjacent* columns or rows shorted, wired-AND
+  semantics (the dominant coupling model for nanowire bundles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .defects import CrosspointState, DefectMap
+
+
+# ----------------------------------------------------------------------
+# Fault taxonomy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fault:
+    """Base class; concrete faults below."""
+
+
+@dataclass(frozen=True)
+class CrosspointStuckOpen(Fault):
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CrosspointStuckClosed(Fault):
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class LineStuckAt(Fault):
+    line: str  # "row" or "col"
+    index: int
+    value: bool
+
+
+@dataclass(frozen=True)
+class BridgeFault(Fault):
+    line: str  # "row" or "col": bridges (index, index+1)
+    index: int
+
+
+def all_single_faults(rows: int, cols: int,
+                      include_bridges: bool = True) -> list[Fault]:
+    """Enumerate the complete single-fault universe of a fabric."""
+    faults: list[Fault] = []
+    for r in range(rows):
+        for c in range(cols):
+            faults.append(CrosspointStuckOpen(r, c))
+            faults.append(CrosspointStuckClosed(r, c))
+    for r in range(rows):
+        faults.append(LineStuckAt("row", r, False))
+        faults.append(LineStuckAt("row", r, True))
+    for c in range(cols):
+        faults.append(LineStuckAt("col", c, False))
+        faults.append(LineStuckAt("col", c, True))
+    if include_bridges:
+        for c in range(cols - 1):
+            faults.append(BridgeFault("col", c))
+        for r in range(rows - 1):
+            faults.append(BridgeFault("row", r))
+    return faults
+
+
+# ----------------------------------------------------------------------
+# The reconfigurable fabric
+# ----------------------------------------------------------------------
+class CrossbarFabric:
+    """An R x C reconfigurable crossbar with wired-AND row read-out."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("fabric dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    def check_configuration(self, program: Sequence[Sequence[bool]]) -> None:
+        if len(program) != self.rows or any(len(r) != self.cols for r in program):
+            raise ValueError(
+                f"configuration must be {self.rows}x{self.cols}"
+            )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, program: Sequence[Sequence[bool]], vector: Sequence[bool],
+                 fault: Fault | None = None,
+                 defect_map: DefectMap | None = None) -> list[bool]:
+        """Row outputs for one input vector, optionally faulty/defective.
+
+        ``fault`` injects one modelled fault; ``defect_map`` overlays
+        fabrication defects (both may be given).
+        """
+        self.check_configuration(program)
+        if len(vector) != self.cols:
+            raise ValueError(f"vector must have {self.cols} entries")
+        inputs = [bool(v) for v in vector]
+        # Column-line faults act on the input values seen by all rows.
+        if isinstance(fault, LineStuckAt) and fault.line == "col":
+            inputs[fault.index] = fault.value
+        if isinstance(fault, BridgeFault) and fault.line == "col":
+            shorted = inputs[fault.index] and inputs[fault.index + 1]
+            inputs[fault.index] = shorted
+            inputs[fault.index + 1] = shorted
+
+        def effective(r: int, c: int) -> bool:
+            programmed = bool(program[r][c])
+            if defect_map is not None:
+                state = defect_map.state(r, c)
+                if state is CrosspointState.STUCK_OPEN:
+                    programmed = False
+                elif state is CrosspointState.STUCK_CLOSED:
+                    programmed = True
+            if isinstance(fault, CrosspointStuckOpen) and (fault.row, fault.col) == (r, c):
+                programmed = False
+            if isinstance(fault, CrosspointStuckClosed) and (fault.row, fault.col) == (r, c):
+                programmed = True
+            return programmed
+
+        outputs = []
+        for r in range(self.rows):
+            value = all(
+                inputs[c] for c in range(self.cols) if effective(r, c)
+            )
+            outputs.append(value)
+        # Row-line faults act on the observed outputs.
+        if isinstance(fault, LineStuckAt) and fault.line == "row":
+            outputs[fault.index] = fault.value
+        if isinstance(fault, BridgeFault) and fault.line == "row":
+            shorted = outputs[fault.index] and outputs[fault.index + 1]
+            outputs[fault.index] = shorted
+            outputs[fault.index + 1] = shorted
+        return outputs
+
+    # ------------------------------------------------------------------
+    def detects(self, program: Sequence[Sequence[bool]],
+                vector: Sequence[bool], fault: Fault) -> bool:
+        """True when the vector's faulty response differs from golden."""
+        golden = self.evaluate(program, vector)
+        faulty = self.evaluate(program, vector, fault=fault)
+        return golden != faulty
+
+    def detected_by_suite(self, configurations: Sequence["TestConfiguration"],
+                          fault: Fault) -> bool:
+        """True when any configuration/vector pair detects the fault."""
+        return any(
+            self.detects(config.program, vector, fault)
+            for config in configurations
+            for vector in config.vectors
+        )
+
+
+@dataclass(frozen=True)
+class TestConfiguration:
+    """A programmed configuration plus its test vector set."""
+
+    name: str
+    program: tuple[tuple[bool, ...], ...]
+    vectors: tuple[tuple[bool, ...], ...]
+
+    @property
+    def num_vectors(self) -> int:
+        return len(self.vectors)
+
+
+def fault_equivalence_note(fault: Fault, fabric: CrossbarFabric) -> str | None:
+    """Explain structurally undetectable faults (equivalence classes).
+
+    A row bridge on a 1-column fabric, for example, can be behaviourally
+    equivalent to the fault-free fabric under every configuration.
+    """
+    if isinstance(fault, BridgeFault) and fault.line == "row" and fabric.cols == 1:
+        return "row bridge with a single input column is behaviourally dormant"
+    return None
+
+
+def undetected_faults(fabric: CrossbarFabric,
+                      configurations: Sequence[TestConfiguration],
+                      faults: Sequence[Fault] | None = None) -> list[Fault]:
+    """Exhaustively fault-simulate a suite and list the escapes."""
+    universe = list(faults) if faults is not None else all_single_faults(
+        fabric.rows, fabric.cols
+    )
+    return [
+        fault for fault in universe
+        if not fabric.detected_by_suite(configurations, fault)
+    ]
+
+
+def coverage(fabric: CrossbarFabric,
+             configurations: Sequence[TestConfiguration],
+             faults: Sequence[Fault] | None = None) -> float:
+    """Fault coverage of a configuration suite over the fault universe."""
+    universe = list(faults) if faults is not None else all_single_faults(
+        fabric.rows, fabric.cols
+    )
+    if not universe:
+        return 1.0
+    escapes = undetected_faults(fabric, configurations, universe)
+    return 1.0 - len(escapes) / len(universe)

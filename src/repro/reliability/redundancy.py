@@ -1,0 +1,192 @@
+"""Permanent and transient fault tolerance via redundancy ([15]).
+
+The paper's reliability work package spans *lifetime* faults, not only
+fabrication defects ("fault tolerance to ensure the lifetime reliability
+(for errors during normal operation)").  Reference [15] (Tunali & Altun,
+TCAD'16) covers both permanent and transient faults for reconfigurable
+nano-crossbars; this module implements the two classic mechanisms in
+crossbar form:
+
+* **spare-line repair** for permanent faults: an ``(r+s) x (c+s)`` array
+  carries spare rows/columns; after diagnosis, defective lines are
+  remapped onto spares (:class:`SparedCrossbar`);
+* **triple modular redundancy (TMR)** for transient faults: three copies
+  of a lattice vote through a majority element that is itself a switching
+  lattice (``maj3`` is self-dual, so its lattice is a compact 2x3).
+  :func:`tmr_reliability` Monte-Carlo-estimates output correctness under
+  per-site transient upset rates, including voter upsets, exhibiting the
+  classic TMR crossover (TMR wins at low upset rates, loses once multi-copy
+  errors dominate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..boolean.truthtable import TruthTable
+from ..crossbar.lattice import Lattice
+from .defects import DefectMap
+
+
+# ----------------------------------------------------------------------
+# Spare-line repair (permanent faults)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of spare-line repair."""
+
+    success: bool
+    row_assignment: tuple[int, ...]  # logical row -> physical row
+    col_assignment: tuple[int, ...]
+    rows_replaced: int
+    cols_replaced: int
+
+
+def repair_with_spares(defect_map: DefectMap, logical_rows: int,
+                       logical_cols: int) -> RepairResult:
+    """Assign logical lines to physical lines, avoiding defective ones.
+
+    A physical line is unusable when it carries *any* defect (universal
+    usability, as in the defect-unaware flow).  Greedy first-fit: logical
+    line i keeps physical line i when clean, otherwise takes the next
+    clean spare.
+    """
+    if logical_rows > defect_map.rows or logical_cols > defect_map.cols:
+        raise ValueError("logical array larger than the physical crossbar")
+    bad_rows = defect_map.defective_rows()
+    bad_cols = defect_map.defective_cols()
+    clean_rows = [r for r in range(defect_map.rows) if r not in bad_rows]
+    clean_cols = [c for c in range(defect_map.cols) if c not in bad_cols]
+    if len(clean_rows) < logical_rows or len(clean_cols) < logical_cols:
+        return RepairResult(False, (), (), 0, 0)
+    row_assignment = tuple(clean_rows[:logical_rows])
+    col_assignment = tuple(clean_cols[:logical_cols])
+    rows_replaced = sum(1 for i, r in enumerate(row_assignment) if r != i)
+    cols_replaced = sum(1 for j, c in enumerate(col_assignment) if c != j)
+    return RepairResult(True, row_assignment, col_assignment,
+                        rows_replaced, cols_replaced)
+
+
+def spare_overhead_for_success(n: int, density: float, target: float,
+                               rng: random.Random, trials: int = 200,
+                               max_spares: int | None = None) -> int | None:
+    """Smallest spare count s so repair of an n x n logical array inside an
+    (n+s) x (n+s) physical array succeeds with probability >= target."""
+    from .defects import random_defect_map
+
+    limit = max_spares if max_spares is not None else 3 * n
+    for s in range(limit + 1):
+        successes = 0
+        for _ in range(trials):
+            defect_map = random_defect_map(n + s, n + s, density, rng)
+            if repair_with_spares(defect_map, n, n).success:
+                successes += 1
+        if successes / trials >= target:
+            return s
+    return None
+
+
+# ----------------------------------------------------------------------
+# TMR (transient faults)
+# ----------------------------------------------------------------------
+_VOTER_CACHE: Lattice | None = None
+
+
+def majority_voter_lattice() -> Lattice:
+    """A folded lattice computing maj3 (2x3 after folding; maj3 is self-dual)."""
+    global _VOTER_CACHE
+    if _VOTER_CACHE is None:
+        from ..synthesis.lattice_dual import synthesize_lattice_dual
+        from ..synthesis.optimize import fold_lattice
+
+        table = TruthTable.from_callable(3, lambda m: bin(m).count("1") >= 2)
+        lattice = fold_lattice(synthesize_lattice_dual(table), table)
+        if not lattice.implements(table):  # pragma: no cover - flow guard
+            raise RuntimeError("majority voter lattice construction broken")
+        _VOTER_CACHE = lattice
+    return _VOTER_CACHE
+
+
+@dataclass(frozen=True)
+class TmrSystem:
+    """Three lattice replicas + a majority voter lattice."""
+
+    replica: Lattice
+    voter: Lattice
+
+    @property
+    def area(self) -> int:
+        return 3 * self.replica.area + self.voter.area
+
+    def evaluate(self, assignment: int, rng: random.Random | None = None,
+                 upset_rate: float = 0.0) -> bool:
+        """One evaluation with optional per-site transient upsets.
+
+        An upset flips a site's conduction state for this evaluation only
+        (transient).  The voter's sites are upset at the same rate.
+        """
+
+        def flip(nominal: bool) -> bool:
+            if rng is not None and upset_rate > 0 and rng.random() < upset_rate:
+                return not nominal
+            return nominal
+
+        def noisy_eval(lattice: Lattice, a: int) -> bool:
+            return lattice.evaluate(a, lambda r, c, v: flip(v))
+
+        votes = [noisy_eval(self.replica, assignment) for _ in range(3)]
+        voter_input = sum(1 << i for i, v in enumerate(votes) if v)
+        return noisy_eval(self.voter, voter_input)
+
+
+def make_tmr(replica: Lattice) -> TmrSystem:
+    return TmrSystem(replica=replica, voter=majority_voter_lattice())
+
+
+@dataclass(frozen=True)
+class ReliabilityPoint:
+    """Monte-Carlo output correctness at one upset rate."""
+
+    upset_rate: float
+    simplex_correct: float
+    tmr_correct: float
+
+    @property
+    def tmr_wins(self) -> bool:
+        return self.tmr_correct >= self.simplex_correct
+
+
+def tmr_reliability(replica: Lattice, table: TruthTable,
+                    upset_rates: Sequence[float], trials: int,
+                    rng: random.Random) -> list[ReliabilityPoint]:
+    """Simplex vs TMR output correctness across transient upset rates."""
+    if table.n != replica.n:
+        raise ValueError("truth table and lattice disagree on variables")
+    system = make_tmr(replica)
+    assignments = list(range(1 << replica.n))
+    points = []
+    for rate in upset_rates:
+        simplex_ok = 0
+        tmr_ok = 0
+        for _ in range(trials):
+            assignment = rng.choice(assignments)
+            golden = table.evaluate(assignment)
+
+            def flip(nominal: bool) -> bool:
+                if rng.random() < rate:
+                    return not nominal
+                return nominal
+
+            simplex = replica.evaluate(assignment, lambda r, c, v: flip(v))
+            if simplex == golden:
+                simplex_ok += 1
+            if system.evaluate(assignment, rng, rate) == golden:
+                tmr_ok += 1
+        points.append(ReliabilityPoint(
+            upset_rate=rate,
+            simplex_correct=simplex_ok / trials,
+            tmr_correct=tmr_ok / trials,
+        ))
+    return points

@@ -1,0 +1,36 @@
+"""Pure-Python SAT substrate (CNF, CDCL solver, encodings, DIMACS I/O)."""
+
+from .cnf import Cnf
+from .dimacs import parse_dimacs, write_dimacs
+from .encodings import (
+    at_least_one,
+    at_most_k_sequential,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+    implies_all,
+    tseitin_and,
+    tseitin_or,
+    tseitin_xor,
+)
+from .solver import Solver, SolverError, brute_force_cnf, luby, solve_cnf
+
+__all__ = [
+    "Cnf",
+    "Solver",
+    "SolverError",
+    "at_least_one",
+    "at_most_k_sequential",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "brute_force_cnf",
+    "exactly_one",
+    "implies_all",
+    "luby",
+    "parse_dimacs",
+    "solve_cnf",
+    "tseitin_and",
+    "tseitin_or",
+    "tseitin_xor",
+    "write_dimacs",
+]

@@ -1,0 +1,43 @@
+"""DIMACS CNF reader/writer (for interoperability and test corpora)."""
+
+from __future__ import annotations
+
+from .cnf import Cnf
+
+
+def parse_dimacs(text: str) -> Cnf:
+    """Parse DIMACS CNF text."""
+    cnf: Cnf | None = None
+    pending: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad problem line: {line!r}")
+            cnf = Cnf(int(parts[2]))
+            continue
+        if cnf is None:
+            raise ValueError("clause line before problem line")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if cnf is None:
+        raise ValueError("missing problem line")
+    if pending:
+        cnf.add_clause(pending)
+    return cnf
+
+
+def write_dimacs(cnf: Cnf) -> str:
+    """Serialise a CNF to DIMACS text."""
+    lines = [f"p cnf {cnf.num_vars} {len(cnf.clauses)}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"

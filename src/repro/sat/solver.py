@@ -1,0 +1,393 @@
+"""A CDCL SAT solver in pure Python.
+
+This is the substrate behind the exact lattice-synthesis flow
+(:mod:`repro.synthesis.lattice_optimal`): the environment has no external
+SAT solver, so the package carries its own.  The design follows MiniSat:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activities with exponential decay,
+* phase saving and Luby-sequence restarts.
+
+The solver is complete; performance is adequate for the instance sizes the
+paper's experiments need (thousands of variables / tens of thousands of
+clauses).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from .cnf import Cnf
+
+
+class SolverError(RuntimeError):
+    """Raised on internal inconsistencies (should never happen)."""
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    if i < 1:
+        raise ValueError("luby index is 1-based")
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    if (1 << k) - 1 == i:
+        return 1 << (k - 1)
+    return luby(i - ((1 << (k - 1)) - 1))
+
+
+class Solver:
+    """CDCL solver over DIMACS-style integer literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assign: dict[int, bool] = {}
+        self.level: dict[int, int] = {}
+        self.reason: dict[int, int | None] = {}
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.activity: dict[int, float] = {}
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.saved_phase: dict[int, bool] = {}
+        self.order_heap: list[tuple[float, int]] = []
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def _register_var(self, var: int) -> None:
+        if var > self.num_vars:
+            for v in range(self.num_vars + 1, var + 1):
+                self.activity[v] = 0.0
+                heapq.heappush(self.order_heap, (0.0, v))
+            self.num_vars = var
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False when the formula became trivially UNSAT."""
+        if not self.ok:
+            return False
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._register_var(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+        # Level-0 simplification.
+        simplified: list[int] = []
+        for lit in clause:
+            val = self._value(lit)
+            if val is True:
+                return True
+            if val is None:
+                simplified.append(lit)
+        if not simplified:
+            self.ok = False
+            return False
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self.ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return False
+            return True
+        index = len(self.clauses)
+        self.clauses.append(simplified)
+        self.watches.setdefault(simplified[0], []).append(index)
+        self.watches.setdefault(simplified[1], []).append(index)
+        return True
+
+    def add_cnf(self, cnf: Cnf) -> bool:
+        self._register_var(cnf.num_vars)
+        for clause in cnf:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> bool | None:
+        val = self.assign.get(abs(lit))
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    def _current_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason_idx: int | None) -> bool:
+        val = self._value(lit)
+        if val is not None:
+            return val
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = self._current_level()
+        self.reason[var] = reason_idx
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            self.propagations += 1
+            false_lit = -p
+            watchlist = self.watches.get(false_lit)
+            if not watchlist:
+                continue
+            i = j = 0
+            while i < len(watchlist):
+                ci = watchlist[i]
+                i += 1
+                clause = self.clauses[ci]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    watchlist[j] = ci
+                    j += 1
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        break
+                else:
+                    watchlist[j] = ci
+                    j += 1
+                    if self._value(first) is False:
+                        while i < len(watchlist):
+                            watchlist[j] = watchlist[i]
+                            j += 1
+                            i += 1
+                        del watchlist[j:]
+                        self.qhead = len(self.trail)
+                        return ci
+                    self._enqueue(first, ci)
+            del watchlist[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in self.activity:
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self.order_heap, (-self.activity[var], var))
+
+    def _analyze(self, conflict_idx: int) -> tuple[list[int], int]:
+        """Derive the 1UIP learned clause and its backjump level."""
+        learnt: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        p: int | None = None
+        clause = self.clauses[conflict_idx]
+        index = len(self.trail) - 1
+        current = self._current_level()
+        while True:
+            for q in clause:
+                if p is not None and q == p:
+                    continue
+                var = abs(q)
+                if var in seen or self.level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var)
+                if self.level[var] == current:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            while abs(self.trail[index]) not in seen:
+                index -= 1
+            p_lit = self.trail[index]
+            index -= 1
+            var = abs(p_lit)
+            seen.discard(var)
+            counter -= 1
+            if counter == 0:
+                p = p_lit
+                break
+            reason_idx = self.reason[var]
+            if reason_idx is None:
+                raise SolverError("non-UIP literal without a reason")
+            clause = self.clauses[reason_idx]
+            p = p_lit
+        learnt.insert(0, -p)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self.level[abs(q)] for q in learnt[1:]), reverse=True)
+        back_level = levels[0]
+        # Put a literal of the backjump level in watch position 1.
+        for k in range(1, len(learnt)):
+            if self.level[abs(learnt[k])] == back_level:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+                break
+        return learnt, back_level
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._current_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for lit in reversed(self.trail[boundary:]):
+            var = abs(lit)
+            self.saved_phase[var] = self.assign[var]
+            del self.assign[var]
+            del self.level[var]
+            del self.reason[var]
+            heapq.heappush(self.order_heap, (-self.activity[var], var))
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int | None:
+        # Lazy-deletion heap: stale entries only perturb the order, never
+        # correctness, so the first unassigned entry is good enough.
+        while self.order_heap:
+            _, var = heapq.heappop(self.order_heap)
+            if var not in self.assign:
+                return var
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assign:
+                return var
+        return None
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_budget: int | None = None) -> bool | None:
+        """Decide satisfiability.
+
+        Args:
+            assumptions: literals assumed true for this call only.
+            conflict_budget: optional conflict cap; ``None`` result on budget
+                exhaustion.
+
+        Returns:
+            True (SAT — model available via :meth:`model`), False (UNSAT),
+            or None when the budget ran out.
+        """
+        if not self.ok:
+            return False
+        for lit in assumptions:
+            self._register_var(abs(lit))
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return False
+        restart_count = 0
+        conflicts_until_restart = 100 * luby(1)
+        total_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                total_conflicts += 1
+                if self._current_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                # Backjumping may undo assumption levels; the decision loop
+                # re-establishes them and detects contradicted assumptions.
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self.ok = False
+                        return False
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(learnt[0], []).append(index)
+                    self.watches.setdefault(learnt[1], []).append(index)
+                    self._enqueue(learnt[0], index)
+                self.var_inc *= self.var_decay
+                if conflict_budget is not None and total_conflicts >= conflict_budget:
+                    self._backtrack(0)
+                    return None
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    restart_count += 1
+                    conflicts_until_restart = 100 * luby(restart_count + 1)
+                    self._backtrack(min(len(assumptions), self._current_level()))
+                continue
+            # No conflict: extend the assignment.
+            if self._current_level() < len(assumptions):
+                lit = assumptions[self._current_level()]
+                val = self._value(lit)
+                if val is False:
+                    self._backtrack(0)
+                    return False
+                self.trail_lim.append(len(self.trail))
+                if val is None:
+                    self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                return True
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            phase = self.saved_phase.get(var, False)
+            self._enqueue(var if phase else -var, None)
+
+    # ------------------------------------------------------------------
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment after a True result."""
+        return {var: self.assign.get(var, False) for var in range(1, self.num_vars + 1)}
+
+    def statistics(self) -> dict[str, int]:
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "clauses": len(self.clauses),
+            "vars": self.num_vars,
+        }
+
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:
+    """One-shot convenience wrapper: returns a model dict or ``None``."""
+    solver = Solver()
+    if not solver.add_cnf(cnf):
+        return None
+    result = solver.solve(assumptions)
+    if result is True:
+        model = solver.model()
+        return model
+    return None
+
+
+def brute_force_cnf(cnf: Cnf) -> dict[int, bool] | None:
+    """Exponential reference solver used to validate the CDCL engine."""
+    n = cnf.num_vars
+    if n > 22:
+        raise ValueError("brute force limited to 22 variables")
+    for bits in range(1 << n):
+        model = {v: bool((bits >> (v - 1)) & 1) for v in range(1, n + 1)}
+        if cnf.evaluate(model):
+            return model
+    return None

@@ -1,0 +1,111 @@
+"""Lattice expressiveness enumeration.
+
+Which Boolean functions fit a given lattice shape?  For small shapes and
+variable counts this is answerable exhaustively: enumerate every site
+labelling (literals + constants), evaluate the lattice, and collect the
+distinct functions — optionally collapsed to NPN classes (synthesis cost is
+NPN-invariant on crossbars).
+
+This quantifies the expressiveness trade-off behind [3]/[9]: how much
+function coverage each extra site buys, and which functions *require*
+area k (the optimality frontier the SAT synthesiser proves per-instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..boolean.cube import Literal
+from ..boolean.npn import npn_canonical
+from ..boolean.truthtable import TruthTable
+from ..crossbar.lattice import Lattice, Site
+
+
+def _labels(n: int, include_constants: bool = True) -> list[Site]:
+    labels: list[Site] = []
+    for var in range(n):
+        labels.append(Literal(var, True))
+        labels.append(Literal(var, False))
+    if include_constants:
+        labels.extend([True, False])
+    return labels
+
+
+def enumerate_lattice_functions(rows: int, cols: int, n: int,
+                                include_constants: bool = True,
+                                limit: int | None = 2_000_000
+                                ) -> set[TruthTable]:
+    """All functions computable by some rows x cols lattice over n vars.
+
+    Exhaustive over ``(2n+2)^(rows*cols)`` labellings; ``limit`` guards the
+    combinatorial blow-up.
+    """
+    labels = _labels(n, include_constants)
+    sites = rows * cols
+    total = len(labels) ** sites
+    if limit is not None and total > limit:
+        raise ValueError(
+            f"{total} labellings exceed the enumeration limit {limit}"
+        )
+    functions: set[TruthTable] = set()
+    for assignment in product(labels, repeat=sites):
+        grid = [list(assignment[r * cols:(r + 1) * cols]) for r in range(rows)]
+        lattice = Lattice(n, grid)
+        functions.add(lattice.to_truth_table())
+    return functions
+
+
+@dataclass(frozen=True)
+class ExpressivenessRow:
+    """One (shape, n) entry of the expressiveness table."""
+
+    rows: int
+    cols: int
+    n: int
+    labellings: int
+    distinct_functions: int
+    npn_classes: int
+    total_functions: int
+
+    @property
+    def coverage(self) -> float:
+        return self.distinct_functions / self.total_functions
+
+
+def expressiveness(rows: int, cols: int, n: int) -> ExpressivenessRow:
+    """Distinct functions and NPN classes a shape realises over n vars."""
+    functions = enumerate_lattice_functions(rows, cols, n)
+    classes = {
+        npn_canonical(f)[0].values.tobytes() for f in functions
+    }
+    labels = len(_labels(n))
+    return ExpressivenessRow(
+        rows=rows,
+        cols=cols,
+        n=n,
+        labellings=labels ** (rows * cols),
+        distinct_functions=len(functions),
+        npn_classes=len(classes),
+        total_functions=1 << (1 << n),
+    )
+
+
+def minimal_area_map(n: int, max_area: int = 4) -> dict[TruthTable, int]:
+    """Smallest lattice area realising each reachable function.
+
+    Enumerates shapes by increasing area; functions first reached at area k
+    provably need k sites (every smaller shape was fully enumerated).
+    """
+    result: dict[TruthTable, int] = {}
+    shapes = sorted(
+        ((r, c) for r in range(1, max_area + 1) for c in range(1, max_area + 1)
+         if r * c <= max_area),
+        key=lambda shape: shape[0] * shape[1],
+    )
+    for r, c in shapes:
+        area = r * c
+        for function in enumerate_lattice_functions(r, c, n):
+            # shapes arrive in increasing area, so first reach is minimal
+            result.setdefault(function, area)
+    return result

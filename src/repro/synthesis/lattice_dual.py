@@ -1,0 +1,159 @@
+"""Dual-based lattice synthesis (Altun & Riedel [2],[3]; Fig. 5).
+
+The construction: minimize ``f`` and its dual ``f^D``; build a lattice with
+one **column per product of f** and one **row per product of f^D**; assign
+to site (i, j) a literal shared by column product ``p_j`` and row product
+``q_i``.  The duality lemma guarantees such a literal exists for every
+pair, and the resulting lattice computes exactly ``f``:
+
+* if ``f(x) = 1`` some ``p_j`` is true, so every site of column ``j`` (all
+  literals of ``p_j``) conducts — a straight top-bottom path;
+* if ``f(x) = 0`` then ``f^D(~x) = 1``, so some ``q_i`` has all its
+  literals false at ``x`` — row ``i`` is fully OFF and cuts every path.
+
+The size ``#products(f^D) x #products(f)`` (Fig. 5) is correct but not
+always minimal — the motivation for the preprocessing flows and the SAT
+optimal synthesiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube, Literal
+from ..boolean.function import BooleanFunction
+from ..boolean.minimize import minimize
+from ..boolean.truthtable import TruthTable
+from ..crossbar.lattice import Lattice
+from .compose import constant_lattice
+
+
+class SynthesisError(RuntimeError):
+    """Raised when a construction invariant is violated."""
+
+
+def lattice_size_formula(cover: Cover, dual_cover: Cover) -> tuple[int, int]:
+    """Fig. 5 size formula: (products of f^D, products of f)."""
+    return dual_cover.num_products, cover.num_products
+
+
+def pick_shared_literal(column_product: Cube, row_product: Cube) -> Literal:
+    """Deterministically choose a literal shared by the two products."""
+    shared = column_product.shared_literals(row_product)
+    if not shared:
+        raise SynthesisError(
+            f"duality lemma violated: products {column_product} and "
+            f"{row_product} share no literal (are these really covers of a "
+            "function and its dual?)"
+        )
+    return shared[0]
+
+
+#: Site tie-break strategies for :func:`lattice_from_covers`.  Any shared
+#: literal yields a correct lattice; the choice affects how well the result
+#: folds afterwards (an ablation knob, see benchmarks/bench_ablations.py).
+TIE_BREAKS = ("first", "last", "frequent")
+
+
+def lattice_from_covers(cover: Cover, dual_cover: Cover,
+                        tie_break: str = "first") -> Lattice:
+    """Altun-Riedel lattice for explicit covers of ``f`` and ``f^D``.
+
+    Args:
+        tie_break: which shared literal to place when several qualify —
+            ``"first"``/``"last"`` in variable order, or ``"frequent"``
+            (the literal shared by the most product pairs overall, which
+            maximises site repetition and tends to fold better).
+    """
+    if tie_break not in TIE_BREAKS:
+        raise ValueError(f"unknown tie_break {tie_break!r}; expected {TIE_BREAKS}")
+    n = cover.n
+    if cover.num_products == 0:
+        return constant_lattice(n, False)
+    if dual_cover.num_products == 0:
+        return constant_lattice(n, True)
+    shared_lists = [
+        [p.shared_literals(q) for p in cover]
+        for q in dual_cover
+    ]
+    for row in shared_lists:
+        for shared in row:
+            if not shared:
+                raise SynthesisError(
+                    "duality lemma violated: a product pair shares no literal"
+                )
+    if tie_break == "frequent":
+        counts: dict[Literal, int] = {}
+        for row in shared_lists:
+            for shared in row:
+                for lit in shared:
+                    counts[lit] = counts.get(lit, 0) + 1
+        sites = [
+            [max(shared, key=lambda lit: (counts[lit], -lit.var))
+             for shared in row]
+            for row in shared_lists
+        ]
+    elif tie_break == "last":
+        sites = [[shared[-1] for shared in row] for row in shared_lists]
+    else:
+        sites = [[shared[0] for shared in row] for row in shared_lists]
+    return Lattice(n, sites)
+
+
+def synthesize_lattice_dual(function: BooleanFunction | TruthTable,
+                            method: str = "auto",
+                            verify: bool = True) -> Lattice:
+    """Synthesize a lattice for a function via the dual-based construction.
+
+    Args:
+        function: target (don't-cares, if any, are resolved to 0 — lattice
+            synthesis with flexibility is delegated to the P-circuit flow).
+        method: minimization engine for both covers.
+        verify: exhaustively check the lattice implements the function
+            (cheap for the n ranges used here).
+
+    Returns:
+        A :class:`~repro.crossbar.lattice.Lattice` computing the function.
+    """
+    table = function.on if isinstance(function, BooleanFunction) else function
+    cover = minimize(table, method=method)
+    dual_cover = minimize(table.dual(), method=method)
+    lattice = lattice_from_covers(cover, dual_cover)
+    if verify and not lattice.implements(table):
+        raise SynthesisError("dual-based lattice failed verification")
+    return lattice
+
+
+@dataclass(frozen=True)
+class DualSynthesisReport:
+    """Everything the Fig. 5 experiment rows need."""
+
+    label: str
+    n: int
+    products: int
+    dual_products: int
+    formula_shape: tuple[int, int]
+    lattice: Lattice
+
+    @property
+    def area(self) -> int:
+        return self.lattice.area
+
+
+def dual_synthesis_report(function: BooleanFunction,
+                          method: str = "auto") -> DualSynthesisReport:
+    """Run the flow and capture the size-formula quantities alongside."""
+    cover = minimize(function.on, method=method)
+    dual_cover = minimize(function.on.dual(), method=method)
+    lattice = lattice_from_covers(cover, dual_cover)
+    if not lattice.implements(function.on):
+        raise SynthesisError("dual-based lattice failed verification")
+    return DualSynthesisReport(
+        label=function.label or "f",
+        n=function.n,
+        products=cover.num_products,
+        dual_products=dual_cover.num_products,
+        formula_shape=lattice_size_formula(cover, dual_cover),
+        lattice=lattice,
+    )

@@ -1,0 +1,239 @@
+"""Multi-output diode-plane synthesis with product-term sharing.
+
+A diode crossbar is a PLA plane: products are rows, literals are columns,
+and *several outputs can share the same rows* — each output adds one OR
+column connected to the rows of its cover.  For multi-output functions
+(adders, comparators, the paper's arithmetic elements) sharing shrinks the
+array versus one independent plane per output:
+
+    independent:  sum_o products(f_o) x (literals(f_o) + 1)
+    shared:       |union of products| x (|union of literals| + #outputs)
+
+Sharing wins when outputs overlap in products (decoder/ROM-style bundles,
+symmetric-output families) and loses when covers are disjoint — the
+report exposes both sides honestly.  Product collection is deliberately
+simple (union of the per-output minimized covers, deduplicated); a full
+multi-output minimizer (espresso-MV) is out of scope and unnecessary for
+the experiment shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..boolean.cube import Cube, Literal
+from ..boolean.minimize import minimize, prime_implicants
+from ..boolean.truthtable import TruthTable
+
+
+def multi_output_minimize(tables: Sequence[TruthTable]
+                          ) -> list[tuple[Cube, frozenset[int]]]:
+    """Joint two-level minimization of an output bundle (espresso-MV-lite).
+
+    Multi-output implicants are (cube, output-set) pairs where the cube is
+    an implicant of *every* tagged output.  Candidates are the primes of
+    each non-empty output intersection, tagged with the maximal output set
+    they serve; a greedy covering over all (minterm, output) pairs then
+    selects rows, preferring rows that serve many outputs at once.  The
+    result is verified by construction (every pair covered, no cube outside
+    its outputs' on-sets).
+    """
+    if not tables:
+        raise ValueError("need at least one output")
+    n = tables[0].n
+    if any(t.n != n for t in tables):
+        raise ValueError("all outputs must share the input space")
+    k = len(tables)
+    # Candidate generation: primes of every non-empty intersection.
+    candidates: dict[Cube, frozenset[int]] = {}
+    for subset in range(1, 1 << k):
+        members = [o for o in range(k) if (subset >> o) & 1]
+        meet = tables[members[0]]
+        for o in members[1:]:
+            meet = meet & tables[o]
+        if meet.is_contradiction():
+            continue
+        for prime in prime_implicants(meet):
+            prime_table = TruthTable.from_cubes(n, [prime])
+            tags = frozenset(
+                o for o in range(k) if prime_table.implies(tables[o])
+            )
+            existing = candidates.get(prime)
+            if existing is None or len(tags) > len(existing):
+                candidates[prime] = tags
+    # Greedy covering of all (minterm, output) pairs.
+    universe: set[tuple[int, int]] = set()
+    for o, table in enumerate(tables):
+        universe.update((m, o) for m in table.minterms())
+    chosen: list[tuple[Cube, frozenset[int]]] = []
+    pair_cover: dict[Cube, set[tuple[int, int]]] = {}
+    for cube, tags in candidates.items():
+        pairs = {
+            (m, o) for o in tags for m in cube.minterms()
+            if tables[o].evaluate(m)
+        }
+        pair_cover[cube] = pairs
+    remaining = set(universe)
+    while remaining:
+        best_cube = max(
+            pair_cover,
+            key=lambda c: (len(pair_cover[c] & remaining), -c.num_literals),
+        )
+        gain = pair_cover[best_cube] & remaining
+        if not gain:
+            raise RuntimeError("multi-output covering stalled (internal bug)")
+        chosen.append((best_cube, candidates[best_cube]))
+        remaining -= gain
+    # Redundancy pruning: drop rows whose pairs are covered by the rest.
+    pruned = True
+    while pruned:
+        pruned = False
+        for i in range(len(chosen)):
+            others: set[tuple[int, int]] = set()
+            for j, (cube, tags) in enumerate(chosen):
+                if j != i:
+                    others |= pair_cover[cube] & universe
+            if (pair_cover[chosen[i][0]] & universe) <= others:
+                chosen.pop(i)
+                pruned = True
+                break
+    return chosen
+
+
+@dataclass(frozen=True)
+class SharedPlaneReport:
+    """Shared vs independent two-level area for one function bundle."""
+
+    num_outputs: int
+    shared_rows: int
+    shared_cols: int
+    independent_area: int
+
+    @property
+    def shared_area(self) -> int:
+        return self.shared_rows * self.shared_cols
+
+    @property
+    def saving(self) -> int:
+        return self.independent_area - self.shared_area
+
+
+class MultiOutputDiodePlane:
+    """One diode crossbar implementing several outputs over shared rows.
+
+    ``mode="joint"`` (default) uses :func:`multi_output_minimize` so rows
+    serving several outputs are found; ``mode="union"`` simply unions the
+    independently minimized covers (the naive baseline).
+    """
+
+    def __init__(self, tables: Sequence[TruthTable], method: str = "auto",
+                 mode: str = "joint"):
+        if not tables:
+            raise ValueError("need at least one output")
+        n = tables[0].n
+        if any(t.n != n for t in tables):
+            raise ValueError("all outputs must share the input space")
+        if any(t.is_contradiction() for t in tables):
+            raise ValueError("constant-0 outputs have no diode rows")
+        if mode not in ("joint", "union"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.n = n
+        self.tables = list(tables)
+        self.covers = [minimize(t, method=method) for t in tables]
+
+        def union_layout() -> tuple[list[Cube], list[set[int]]]:
+            products: list[Cube] = []
+            output_rows: list[set[int]] = [set() for _ in tables]
+            index: dict[Cube, int] = {}
+            for out, cover in enumerate(self.covers):
+                for cube in cover:
+                    row = index.get(cube)
+                    if row is None:
+                        row = len(products)
+                        index[cube] = row
+                        products.append(cube)
+                    output_rows[out].add(row)
+            return products, output_rows
+
+        def joint_layout() -> tuple[list[Cube], list[set[int]]]:
+            products: list[Cube] = []
+            output_rows: list[set[int]] = [set() for _ in tables]
+            for row, (cube, tags) in enumerate(multi_output_minimize(tables)):
+                products.append(cube)
+                for o in tags:
+                    output_rows[o].add(row)
+            return products, output_rows
+
+        if mode == "joint":
+            # The greedy joint covering can lose to the per-output exact
+            # covers (classic greedy set-cover gap): keep whichever layout
+            # needs fewer rows, so joint mode never regresses below union.
+            joint = joint_layout()
+            union = union_layout()
+            self.products, self.output_rows = (
+                joint if len(joint[0]) <= len(union[0]) else union
+            )
+        else:
+            self.products, self.output_rows = union_layout()
+        literals: set[Literal] = set()
+        for cube in self.products:
+            literals.update(cube.literals())
+        self.literals = sorted(literals)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.products)
+
+    @property
+    def num_cols(self) -> int:
+        """Literal columns plus one OR column per output."""
+        return len(self.literals) + len(self.output_rows)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def area(self) -> int:
+        return self.num_rows * self.num_cols
+
+    def evaluate(self, assignment: int) -> int:
+        """All outputs packed into an int (bit o = output o)."""
+        row_values = [cube.evaluate(assignment) for cube in self.products]
+        out = 0
+        for o, rows in enumerate(self.output_rows):
+            if any(row_values[r] for r in rows):
+                out |= 1 << o
+        return out
+
+    def implements_all(self) -> bool:
+        """Exhaustive check of every output column."""
+        for assignment in range(1 << self.n):
+            packed = self.evaluate(assignment)
+            for o, table in enumerate(self.tables):
+                if bool((packed >> o) & 1) != table.evaluate(assignment):
+                    return False
+        return True
+
+    def report(self) -> SharedPlaneReport:
+        independent = sum(
+            cover.num_products * (cover.num_distinct_literals + 1)
+            for cover in self.covers
+        )
+        return SharedPlaneReport(
+            num_outputs=len(self.output_rows),
+            shared_rows=self.num_rows,
+            shared_cols=self.num_cols,
+            independent_area=independent,
+        )
+
+
+def shared_plane_report(tables: Sequence[TruthTable],
+                        method: str = "auto") -> SharedPlaneReport:
+    """Build the shared plane (with verification) and report the areas."""
+    plane = MultiOutputDiodePlane(tables, method=method)
+    if not plane.implements_all():
+        raise RuntimeError("shared diode plane failed verification")
+    return plane.report()

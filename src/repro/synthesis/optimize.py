@@ -1,0 +1,123 @@
+"""Post-synthesis lattice reduction (in the spirit of [11], Morgul & Altun).
+
+The dual-based construction is frequently non-minimal (Section III-B).  Two
+cheap semantic-preserving post-passes recover part of the gap:
+
+* **row/column folding** — greedily delete whole rows or columns whenever
+  the reduced lattice still implements the target;
+* **site simplification** — rewrite individual sites to constants (``1``
+  preferred: it only *adds* conduction, so when the function is unchanged
+  the site's switch and its input wire can be dropped).
+
+Both passes verify against the full truth table, so they are exact for the
+function sizes used in the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boolean.truthtable import TruthTable
+from ..crossbar.lattice import Lattice
+
+
+def remove_row(lattice: Lattice, row: int) -> Lattice:
+    """Delete one row (must leave at least one)."""
+    if lattice.rows == 1:
+        raise ValueError("cannot remove the only row")
+    rows = [list(r) for i, r in enumerate(lattice.sites) if i != row]
+    return Lattice(lattice.n, rows)
+
+
+def remove_col(lattice: Lattice, col: int) -> Lattice:
+    """Delete one column (must leave at least one)."""
+    if lattice.cols == 1:
+        raise ValueError("cannot remove the only column")
+    rows = [[s for j, s in enumerate(r) if j != col] for r in lattice.sites]
+    return Lattice(lattice.n, rows)
+
+
+def fold_lattice(lattice: Lattice, target: TruthTable) -> Lattice:
+    """Greedy row/column deletion while the target function is preserved.
+
+    Scans rows then columns repeatedly until a fixpoint; each accepted
+    deletion is verified exhaustively.
+    """
+    if target.n != lattice.n:
+        raise ValueError("variable space mismatch")
+    current = lattice
+    improved = True
+    while improved:
+        improved = False
+        r = 0
+        while current.rows > 1 and r < current.rows:
+            candidate = remove_row(current, r)
+            if candidate.implements(target):
+                current = candidate
+                improved = True
+            else:
+                r += 1
+        c = 0
+        while current.cols > 1 and c < current.cols:
+            candidate = remove_col(current, c)
+            if candidate.implements(target):
+                current = candidate
+                improved = True
+            else:
+                c += 1
+    return current
+
+
+def simplify_sites(lattice: Lattice, target: TruthTable) -> Lattice:
+    """Replace sites with constants when the function is preserved.
+
+    Tries ``1`` first (removes a switch), then ``0`` (documents that the
+    site is dead).  Literal sites that survive both substitutions are kept.
+    """
+    if target.n != lattice.n:
+        raise ValueError("variable space mismatch")
+    current = lattice
+    for r in range(current.rows):
+        for c in range(current.cols):
+            site = current.site(r, c)
+            if site is True or site is False:
+                continue
+            for replacement in (True, False):
+                candidate = current.with_site(r, c, replacement)
+                if candidate.implements(target):
+                    current = candidate
+                    break
+    return current
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Before/after shapes for the folding experiment rows."""
+
+    original_shape: tuple[int, int]
+    folded_shape: tuple[int, int]
+    original_area: int
+    folded_area: int
+    lattice: Lattice
+
+    @property
+    def area_saving(self) -> int:
+        return self.original_area - self.folded_area
+
+
+def optimize_lattice(lattice: Lattice, target: TruthTable,
+                     simplify: bool = True) -> OptimizationReport:
+    """Run folding (and optionally site simplification) with verification."""
+    folded = fold_lattice(lattice, target)
+    if simplify:
+        folded = simplify_sites(folded, target)
+        folded = fold_lattice(folded, target)
+    if not folded.implements(target):
+        raise RuntimeError("optimization broke the lattice (internal bug)")
+    return OptimizationReport(
+        original_shape=lattice.shape,
+        folded_shape=folded.shape,
+        original_area=lattice.area,
+        folded_area=folded.area,
+        lattice=folded,
+    )

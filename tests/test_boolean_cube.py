@@ -1,0 +1,206 @@
+"""Unit and property tests for cubes and literals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolean import Cube, Literal
+
+
+class TestLiteral:
+    def test_positive_literal_evaluates_variable_bit(self):
+        lit = Literal(2, True)
+        assert lit.evaluate(0b100)
+        assert not lit.evaluate(0b011)
+
+    def test_negative_literal_inverts(self):
+        lit = Literal(0, False)
+        assert lit.evaluate(0b110)
+        assert not lit.evaluate(0b001)
+
+    def test_negated_roundtrip(self):
+        lit = Literal(3, True)
+        assert lit.negated().negated() == lit
+        assert lit.negated() == Literal(3, False)
+
+    def test_name_with_defaults_and_custom(self):
+        assert Literal(0, True).name() == "x1"
+        assert Literal(1, False).name() == "x2'"
+        assert Literal(1, False).name(["a", "b"]) == "b'"
+
+    def test_rejects_negative_variable(self):
+        with pytest.raises(ValueError):
+            Literal(-1, True)
+
+    def test_ordering_is_stable(self):
+        lits = [Literal(2, True), Literal(0, False), Literal(0, True)]
+        assert sorted(lits)[0].var == 0
+
+
+class TestCubeConstruction:
+    def test_from_string_parses_positional(self):
+        cube = Cube.from_string("1-0")
+        assert cube.n == 3
+        assert cube.polarity(0) == "1"
+        assert cube.polarity(1) == "-"
+        assert cube.polarity(2) == "0"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_from_literals(self):
+        cube = Cube.from_literals(4, [Literal(0, True), Literal(3, False)])
+        assert str(cube) == "1--0"
+
+    def test_from_literals_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(2, [Literal(0, True), Literal(0, False)])
+
+    def test_from_minterm_has_all_literals(self):
+        cube = Cube.from_minterm(3, 0b101)
+        assert cube.num_literals == 3
+        assert cube.evaluate(0b101)
+        assert not cube.evaluate(0b100)
+
+    def test_universe_covers_everything(self):
+        cube = Cube.universe(3)
+        assert all(cube.evaluate(m) for m in range(8))
+
+    def test_overlapping_masks_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, 0b01, 0b01)
+
+    def test_mask_outside_space_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, 0b100, 0)
+
+
+class TestCubeSemantics:
+    def test_evaluate_matches_literal_conjunction(self):
+        cube = Cube.from_string("10-")
+        for m in range(8):
+            expected = (m & 1) and not (m & 2)
+            assert cube.evaluate(m) == bool(expected)
+
+    def test_minterms_enumeration(self):
+        cube = Cube.from_string("1--")
+        assert sorted(cube.minterms()) == [0b001, 0b011, 0b101, 0b111]
+
+    def test_size_matches_minterm_count(self):
+        cube = Cube.from_string("1-0-")
+        assert cube.size() == len(list(cube.minterms())) == 4
+
+    def test_contains_reflexive_and_monotone(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+
+    def test_intersection_agrees_with_minterm_sets(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        meet = a.intersection(b)
+        assert meet is not None
+        assert set(meet.minterms()) == set(a.minterms()) & set(b.minterms())
+
+    def test_disjoint_cubes_have_no_intersection(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("0--")
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+
+class TestCubeOperations:
+    def test_merge_adjacent(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("100")
+        merged = a.merge(b)
+        assert merged is not None
+        assert str(merged) == "10-"
+
+    def test_merge_rejects_distance_two(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("110")
+        assert a.merge(b) is None
+
+    def test_merge_rejects_different_care_masks(self):
+        a = Cube.from_string("10-")
+        b = Cube.from_string("100")
+        assert a.merge(b) is None
+
+    def test_cofactor_drops_literal(self):
+        cube = Cube.from_string("10-")
+        assert str(cube.cofactor(0, True)) == "-0-"
+        assert cube.cofactor(0, False) is None
+
+    def test_shared_literals_same_polarity_only(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("1-0")
+        shared = a.shared_literals(b)
+        assert shared == [Literal(0, True)]
+
+    def test_consensus_on_single_conflict(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("0-1")
+        consensus = a.consensus(b)
+        assert consensus is not None
+        assert str(consensus) == "-11"
+
+    def test_project_out_and_lift_are_inverse(self):
+        cube = Cube.from_string("1-0-")
+        projected = cube.project_out(1)
+        assert projected.n == 3
+        assert str(projected) == "10-"
+        assert projected.lift(1) == cube
+
+    def test_project_out_constrained_variable_raises(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1-0").project_out(0)
+
+    def test_complement_literals_swaps_polarity(self):
+        cube = Cube.from_string("10-")
+        assert str(cube.complement_literals()) == "01-"
+
+
+@st.composite
+def cubes(draw, n=4):
+    pattern = draw(st.text(alphabet="01-", min_size=n, max_size=n))
+    return Cube.from_string(pattern)
+
+
+class TestCubeProperties:
+    @given(cubes(), cubes())
+    def test_intersection_semantics(self, a, b):
+        meet = a.intersection(b)
+        expected = set(a.minterms()) & set(b.minterms())
+        if meet is None:
+            assert expected == set()
+        else:
+            assert set(meet.minterms()) == expected
+
+    @given(cubes(), cubes())
+    def test_containment_semantics(self, a, b):
+        assert a.contains(b) == (set(b.minterms()) <= set(a.minterms()))
+
+    @given(cubes())
+    def test_minterm_count_matches_size(self, cube):
+        assert cube.size() == len(list(cube.minterms()))
+
+    @given(cubes(), cubes())
+    def test_merge_preserves_union(self, a, b):
+        merged = a.merge(b)
+        if merged is not None:
+            assert set(merged.minterms()) == set(a.minterms()) | set(b.minterms())
+
+    @given(cubes(), st.integers(min_value=0, max_value=3), st.booleans())
+    def test_cofactor_semantics(self, cube, var, value):
+        cof = cube.cofactor(var, value)
+        expected = {
+            m for m in cube.minterms() if bool((m >> var) & 1) == value
+        }
+        if cof is None:
+            assert expected == set()
+        else:
+            assert {m for m in cof.minterms()
+                    if bool((m >> var) & 1) == value} == expected

@@ -1,0 +1,114 @@
+"""Tests for NPN classification and lattice expressiveness enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import (
+    TruthTable,
+    apply_transform,
+    count_npn_classes,
+    npn_canonical,
+    npn_classes,
+    npn_equivalent,
+)
+from repro.boolean.npn import NpnTransform
+from repro.synthesis import (
+    enumerate_lattice_functions,
+    expressiveness,
+    minimal_area_map,
+)
+
+
+def tables(n=3):
+    return st.integers(min_value=0, max_value=(1 << (1 << n)) - 1).map(
+        lambda bits: TruthTable.from_bits(n, bits)
+    )
+
+
+class TestNpn:
+    def test_classic_class_counts(self):
+        assert count_npn_classes(1) == 2   # constants vs. the literal
+        assert count_npn_classes(2) == 4
+        assert count_npn_classes(3) == 14
+
+    def test_and_or_same_class(self):
+        a = TruthTable.from_minterms(2, [3])          # x1 & x2
+        o = TruthTable.from_minterms(2, [1, 2, 3])    # x1 | x2
+        assert npn_equivalent(a, o)   # complement inputs + output
+
+    def test_xor_not_equivalent_to_and(self):
+        x = TruthTable.from_minterms(2, [1, 2])
+        a = TruthTable.from_minterms(2, [3])
+        assert not npn_equivalent(x, a)
+
+    def test_different_arity_not_equivalent(self):
+        assert not npn_equivalent(TruthTable.constant(2, True),
+                                  TruthTable.constant(3, True))
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_transform_is_witness(self, t):
+        canonical, transform = npn_canonical(t)
+        assert apply_transform(t, transform) == canonical
+
+    @given(tables(2), st.permutations([0, 1]),
+           st.integers(min_value=0, max_value=3), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_invariant_under_transforms(self, t, perm, neg, out):
+        transformed = apply_transform(t, NpnTransform(tuple(perm), neg, out))
+        assert npn_canonical(t)[0] == npn_canonical(transformed)[0]
+
+    def test_classes_grouping(self):
+        all_two_var = [TruthTable.from_bits(2, bits) for bits in range(16)]
+        groups = npn_classes(all_two_var)
+        assert len(groups) == 4
+        assert sum(len(v) for v in groups.values()) == 16
+
+    def test_large_n_rejected(self):
+        with pytest.raises(ValueError):
+            npn_canonical(TruthTable.constant(6, True))
+        with pytest.raises(ValueError):
+            count_npn_classes(4)
+
+
+class TestEnumeration:
+    def test_single_site_functions(self):
+        functions = enumerate_lattice_functions(1, 1, 2)
+        # 4 literals + 2 constants = 6 distinct functions
+        assert len(functions) == 6
+
+    def test_row_of_two_is_or_of_sites(self):
+        functions = enumerate_lattice_functions(1, 2, 1)
+        # over 1 variable: {0, 1, x, ~x, x|~x=1, ...} = {0,1,x,~x}
+        assert len(functions) == 4
+
+    def test_column_of_two_is_and_of_sites(self):
+        functions = enumerate_lattice_functions(2, 1, 1)
+        assert len(functions) == 4
+
+    def test_2x2_realises_everything_over_two_vars(self):
+        functions = enumerate_lattice_functions(2, 2, 2)
+        assert len(functions) == 16
+
+    def test_limit_guard(self):
+        with pytest.raises(ValueError):
+            enumerate_lattice_functions(4, 4, 3, limit=1000)
+
+    def test_expressiveness_row_fields(self):
+        row = expressiveness(2, 2, 2)
+        assert row.coverage == 1.0
+        assert row.npn_classes == 4
+        assert row.labellings == 6 ** 4
+
+    def test_minimal_area_map_known_entries(self):
+        frontier = minimal_area_map(2, max_area=4)
+        and2 = TruthTable.from_minterms(2, [3])
+        or2 = TruthTable.from_minterms(2, [1, 2, 3])
+        xor2 = TruthTable.from_minterms(2, [1, 2])
+        lit = TruthTable.variable(2, 0)
+        assert frontier[lit] == 1
+        assert frontier[and2] == 2
+        assert frontier[or2] == 2
+        assert frontier[xor2] == 4
+        # the frontier covers the entire 2-variable space by area 4
+        assert len(frontier) == 16

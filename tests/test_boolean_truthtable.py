@@ -1,0 +1,167 @@
+"""Unit and property tests for dense truth tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolean import Cube, TruthTable
+
+
+def random_tables(n=4):
+    return st.integers(min_value=0, max_value=(1 << (1 << n)) - 1).map(
+        lambda bits: TruthTable.from_bits(n, bits)
+    )
+
+
+class TestConstruction:
+    def test_constant_tables(self):
+        zero = TruthTable.constant(3, False)
+        one = TruthTable.constant(3, True)
+        assert zero.is_contradiction() and not zero.is_tautology()
+        assert one.is_tautology() and not one.is_contradiction()
+
+    def test_variable_projection(self):
+        t = TruthTable.variable(3, 1)
+        for m in range(8):
+            assert t.evaluate(m) == bool((m >> 1) & 1)
+
+    def test_from_minterms_roundtrip(self):
+        t = TruthTable.from_minterms(4, [0, 5, 9])
+        assert sorted(t.minterms()) == [0, 5, 9]
+
+    def test_from_minterms_range_check(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms(2, [4])
+
+    def test_from_cubes_is_or_of_cubes(self):
+        t = TruthTable.from_cubes(3, [Cube.from_string("1--"), Cube.from_string("-1-")])
+        for m in range(8):
+            assert t.evaluate(m) == bool((m & 1) or (m & 2))
+
+    def test_from_bits_roundtrip(self):
+        t = TruthTable.from_bits(3, 0b10110010)
+        assert t.bits == 0b10110010
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, [True, False])
+
+    def test_too_many_variables_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(30, False)
+
+    def test_immutability(self):
+        t = TruthTable.constant(2, False)
+        with pytest.raises(AttributeError):
+            t.n = 3
+        with pytest.raises(ValueError):
+            t.values[0] = True
+
+
+class TestAlgebra:
+    def test_and_or_xor_not(self):
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        assert sorted((a & b).minterms()) == [3]
+        assert sorted((a | b).minterms()) == [1, 2, 3]
+        assert sorted((a ^ b).minterms()) == [1, 2]
+        assert sorted((~a).minterms()) == [0, 2]
+
+    def test_implies(self):
+        a = TruthTable.from_minterms(3, [1, 3])
+        b = TruthTable.from_minterms(3, [1, 3, 5])
+        assert a.implies(b)
+        assert not b.implies(a)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, True) & TruthTable.constant(3, True)
+
+
+class TestDual:
+    def test_dual_of_and_is_or(self):
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        assert (a & b).dual() == (a | b)
+
+    def test_parity_is_self_dual_for_odd_vars(self):
+        t = TruthTable.from_callable(3, lambda m: bin(m).count("1") % 2 == 1)
+        assert t.is_self_dual()
+
+    def test_majority_is_self_dual(self):
+        t = TruthTable.from_callable(3, lambda m: bin(m).count("1") >= 2)
+        assert t.is_self_dual()
+
+    @given(random_tables())
+    def test_dual_is_involution(self, t):
+        assert t.dual().dual() == t
+
+    @given(random_tables())
+    def test_dual_pointwise_definition(self, t):
+        full = (1 << t.n) - 1
+        d = t.dual()
+        for m in range(1 << t.n):
+            assert d.evaluate(m) == (not t.evaluate(m ^ full))
+
+
+class TestStructure:
+    def test_cofactor_shannon_expansion(self):
+        t = TruthTable.from_callable(3, lambda m: (m & 1) and not (m & 4))
+        f0, f1 = t.shannon(0)
+        # f = ~x0 f0 + x0 f1 reconstructed pointwise
+        for m in range(8):
+            sub = ((m >> 1) & 0b11)
+            expected = f1.evaluate(sub) if (m & 1) else f0.evaluate(sub)
+            assert t.evaluate(m) == expected
+
+    def test_restrict_keeps_dimension(self):
+        t = TruthTable.variable(3, 0)
+        r = t.restrict(0, True)
+        assert r.n == 3 and r.is_tautology()
+
+    def test_depends_on_and_support(self):
+        t = TruthTable.from_callable(3, lambda m: bool(m & 1))
+        assert t.support() == [0]
+        assert t.depends_on(0)
+        assert not t.depends_on(2)
+
+    def test_permute_swaps_roles(self):
+        t = TruthTable.from_callable(2, lambda m: bool(m & 1))  # f = x0
+        swapped = t.permute([1, 0])
+        assert swapped == TruthTable.variable(2, 1)
+
+    def test_permute_validation(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, True).permute([0, 0])
+
+    def test_extend_ignores_new_variables(self):
+        t = TruthTable.variable(2, 1)
+        big = t.extend(2)
+        assert big.n == 4
+        for m in range(16):
+            assert big.evaluate(m) == bool((m >> 1) & 1)
+
+    def test_compose_variable_substitution(self):
+        t = TruthTable.variable(2, 0)  # f = x0
+        g = TruthTable.variable(2, 1)  # g = x1
+        composed = t.compose_variable(0, g)
+        assert composed == g
+
+    @given(random_tables(), st.integers(min_value=0, max_value=3), st.booleans())
+    def test_cofactor_pointwise(self, t, var, value):
+        cof = t.cofactor(var, value)
+        for sub in range(1 << 3):
+            low = sub & ((1 << var) - 1)
+            high = (sub >> var) << (var + 1)
+            full = high | low | ((1 << var) if value else 0)
+            assert cof.evaluate(sub) == t.evaluate(full)
+
+    @given(random_tables())
+    def test_minterm_cubes_reconstruct(self, t):
+        again = TruthTable.from_cubes(t.n, t.minterm_cubes())
+        assert again == t
+
+    @given(random_tables())
+    def test_hash_consistent_with_eq(self, t):
+        clone = TruthTable(t.n, np.array(t.values))
+        assert clone == t and hash(clone) == hash(t)

@@ -1,0 +1,180 @@
+"""Tests for the benchmark suite, table rendering, experiments and CLI."""
+
+import pytest
+
+from repro.eval import (
+    all_experiments,
+    by_name,
+    format_markdown,
+    format_table,
+    get_experiment,
+    standard_suite,
+    suite,
+)
+from repro.eval.cli import main as cli_main
+
+
+class TestBenchsuite:
+    def test_suite_nonempty_and_unique_names(self):
+        names = [b.name for b in standard_suite()]
+        assert len(names) >= 15
+        assert len(names) == len(set(names))
+
+    def test_by_name(self):
+        benchmark = by_name("xnor2")
+        assert benchmark.n == 2
+        with pytest.raises(KeyError):
+            by_name("missing")
+
+    def test_tag_selection(self):
+        dred = suite(tags=["d-reducible"])
+        assert dred and all("d-reducible" in b.tags for b in dred)
+
+    def test_exclusion_and_size_filter(self):
+        small = suite(exclude=["large"], max_vars=4)
+        assert all(b.n <= 4 for b in small)
+        assert all("large" not in b.tags for b in small)
+
+    def test_known_function_semantics(self):
+        xor5 = by_name("xor5").function
+        for m in (0, 1, 0b10101, 0b11111):
+            assert xor5.evaluate(m) == (bin(m).count("1") % 2 == 1)
+        maj5 = by_name("maj5").function
+        assert maj5.evaluate(0b00111) and not maj5.evaluate(0b00011)
+        mux2 = by_name("mux2").function  # select bit 0, data bits 1..2
+        assert mux2.evaluate(0b010) and not mux2.evaluate(0b100)
+        assert mux2.evaluate(0b101)
+
+    def test_fig4_benchmark_matches_paper_expression(self):
+        fig4 = by_name("fig4").function
+        assert fig4.n == 6
+        assert fig4.evaluate(0b000111)  # x1 x2 x3
+        assert fig4.evaluate(0b111000)  # x4 x5 x6
+        assert not fig4.evaluate(0b000001)
+
+    def test_dreducible_benchmarks_are_reducible(self):
+        from repro.boolean import is_d_reducible
+
+        for benchmark in suite(tags=["d-reducible"]):
+            assert is_d_reducible(benchmark.function.on), benchmark.name
+
+    def test_pla_benchmark_loads(self):
+        pla5 = by_name("pla5")
+        assert pla5.n == 5
+        assert 0 < pla5.function.on.count_ones() < 32
+
+
+class TestTables:
+    ROWS = [
+        {"name": "a", "value": 1.23456, "shape": (2, 3), "ok": True},
+        {"name": "bb", "value": 2.0, "shape": (10, 1), "ok": False},
+    ]
+
+    def test_format_table_alignment(self):
+        text = format_table(self.ROWS, ["name", "value", "shape", "ok"])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text and "2x3" in text and "yes" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_format_table_title_and_missing_cols(self):
+        text = format_table([{"a": 1}], ["a", "b"], title="T")
+        assert text.startswith("T")
+
+    def test_format_markdown(self):
+        text = format_markdown(self.ROWS, ["name", "ok"])
+        assert text.splitlines()[0] == "| name | ok |"
+        assert "| a | yes |" in text
+
+
+class TestExperiments:
+    def test_registry_complete(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        assert {"fig1", "fig3", "fig4", "fig5", "pcircuit", "dreducible",
+                "optimal", "bist", "bisd", "bism", "fig6", "recovery",
+                "variation", "yield", "arch"} <= ids
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("nope")
+
+    def test_fig4_experiment_rows(self):
+        result = get_experiment("fig4").run(True)
+        assert all(row["implements"] for row in result.rows)
+        by_method = {row["method"]: row for row in result.rows}
+        assert by_method["paper Fig. 4 (hand)"]["area"] == 6
+        assert by_method["Fig. 5 formula [2]"]["area"] >= 6
+
+    def test_fig1_experiment(self):
+        result = get_experiment("fig1").run(True)
+        assert len(result.rows) == 3
+        assert all(row["implements_xnor2"] for row in result.rows)
+
+    def test_bist_experiment_full_coverage(self):
+        result = get_experiment("bist").run(True)
+        assert all(row["coverage"] == 1.0 for row in result.rows)
+        assert all(row["configs"] < row["naive_configs"] for row in result.rows)
+
+    def test_bisd_experiment_logarithmic(self):
+        result = get_experiment("bisd").run(True)
+        for row in result.rows:
+            assert row["accuracy"] == 1.0
+            assert row["configs"] == row["log2(resources)"] + 2
+
+    def test_render_contains_notes(self):
+        result = get_experiment("fig1").run(True)
+        assert "notes:" in result.render()
+
+    def test_metrics_experiment_styles(self):
+        result = get_experiment("metrics").run(True)
+        styles = {row["style"] for row in result.rows}
+        assert styles == {"diode", "fet", "lattice"}
+
+    def test_expressiveness_experiment(self):
+        result = get_experiment("expressiveness").run(True)
+        full = next(row for row in result.rows if row["shape"] == (2, 2))
+        assert full["coverage"] == 1.0
+
+    def test_latticemap_experiment(self):
+        result = get_experiment("latticemap").run(True)
+        assert result.rows[0]["success_rate"] == 1.0
+
+    def test_tmr_experiment(self):
+        result = get_experiment("tmr").run(True)
+        numeric = [row for row in result.rows
+                   if isinstance(row["upset_rate"], float)]
+        assert numeric[0]["simplex_correct"] == 1.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "bism" in out
+
+    def test_run_fig4(self, capsys):
+        assert cli_main(["run", "fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "3x2" in out
+
+    def test_bench_listing_and_detail(self, capsys):
+        assert cli_main(["bench"]) == 0
+        assert "xnor2" in capsys.readouterr().out
+        assert cli_main(["bench", "xnor2"]) == 0
+        out = capsys.readouterr().out
+        assert "products = 2" in out
+
+    def test_synth_all_styles(self, capsys):
+        assert cli_main(["synth", "x1 x2 + x1' x2'"]) == 0
+        out = capsys.readouterr().out
+        assert "diode array 2 x 5" in out
+        assert "FET array 4 x 4" in out
+        assert "lattice 2 x 2" in out
+
+    def test_synth_optimal(self, capsys):
+        assert cli_main(["synth", "x1 + x2", "--style", "optimal"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal lattice 1 x 2" in out
+        assert "proved: True" in out

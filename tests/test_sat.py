@@ -1,0 +1,263 @@
+"""Tests for the SAT substrate: CNF, encodings, DIMACS and the CDCL solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import (
+    Cnf,
+    Solver,
+    at_most_k_sequential,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    brute_force_cnf,
+    exactly_one,
+    luby,
+    parse_dimacs,
+    solve_cnf,
+    tseitin_and,
+    tseitin_or,
+    tseitin_xor,
+    write_dimacs,
+)
+
+
+class TestCnf:
+    def test_add_clause_tracks_vars(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -5])
+        assert cnf.num_vars == 5 and len(cnf) == 1
+
+    def test_tautologies_dropped(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -1, 2])
+        assert len(cnf) == 0
+
+    def test_duplicate_literals_merged(self):
+        cnf = Cnf()
+        cnf.add_clause([2, 2, 3])
+        assert cnf.clauses[0] == (2, 3)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Cnf().add_clause([0])
+
+    def test_evaluate(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: True})
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestSolverBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve() is True
+
+    def test_unit_conflict_unsat(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.add_clause([-1]) is False
+        assert solver.solve() is False
+
+    def test_simple_sat_model(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve() is True
+        model = solver.model()
+        assert model[2] and model[3]
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole
+        solver = Solver()
+        solver.add_clause([1])   # pigeon 1 in hole 1
+        solver.add_clause([2])   # pigeon 2 in hole 1
+        solver.add_clause([-1, -2])
+        assert solver.solve() is False
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # p_{i,j}: pigeon i (1..3) in hole j (1..2); var = 2*(i-1)+j
+        cnf = Cnf()
+        for i in range(3):
+            cnf.add_clause([2 * i + 1, 2 * i + 2])
+        for j in (1, 2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    cnf.add_clause([-(2 * i1 + j), -(2 * i2 + j)])
+        assert solve_cnf(cnf) is None
+
+    def test_assumptions(self):
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve(assumptions=[1]) is True
+        assert solver.model()[3]
+        solver2 = Solver()
+        solver2.add_clause([-1, 2])
+        solver2.add_clause([-2])
+        assert solver2.solve(assumptions=[1]) is False
+
+    def test_assumptions_conflicting_directly(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1, -2]) is False
+
+    def test_model_satisfies_formula(self):
+        cnf = Cnf()
+        clauses = [[1, -2, 3], [-1, 2], [2, 3, 4], [-3, -4], [1, 4]]
+        cnf.add_clauses(clauses)
+        model = solve_cnf(cnf)
+        assert model is not None and cnf.evaluate(model)
+
+    def test_statistics_populated(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.solve()
+        stats = solver.statistics()
+        assert stats["vars"] == 2
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int, width: int = 3) -> Cnf:
+    cnf = Cnf(num_vars)
+    for _ in range(num_clauses):
+        size = rng.randint(1, width)
+        vars_chosen = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in vars_chosen])
+    return cnf
+
+
+class TestSolverAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_3cnf_agrees(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 9)
+        # around the phase transition ratio 4.3 for hard instances
+        num_clauses = int(num_vars * rng.uniform(2.0, 6.0))
+        cnf = random_cnf(rng, num_vars, num_clauses)
+        expected = brute_force_cnf(cnf)
+        model = solve_cnf(cnf)
+        if expected is None:
+            assert model is None
+        else:
+            assert model is not None
+            assert cnf.evaluate(model)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_larger_sat_instances(self, seed):
+        rng = random.Random(1000 + seed)
+        cnf = random_cnf(rng, 40, 120)
+        model = solve_cnf(cnf)
+        if model is not None:
+            assert cnf.evaluate(model)
+        else:
+            # cross-check a claimed-UNSAT result on a smaller projection
+            assert brute_force_cnf(cnf) is None if cnf.num_vars <= 22 else True
+
+
+def enumerate_models(cnf: Cnf, over_vars: int):
+    """All assignments of vars 1..over_vars extendable to full models."""
+    models = set()
+    for bits in range(1 << cnf.num_vars):
+        model = {v: bool((bits >> (v - 1)) & 1) for v in range(1, cnf.num_vars + 1)}
+        if cnf.evaluate(model):
+            models.add(tuple(model[v] for v in range(1, over_vars + 1)))
+    return models
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 7])
+    def test_amo_pairwise_exact_semantics(self, k):
+        cnf = Cnf(k)
+        at_most_one_pairwise(cnf, list(range(1, k + 1)))
+        models = enumerate_models(cnf, k)
+        assert models == {m for m in models if sum(m) <= 1}
+        assert len(models) == k + 1
+
+    @pytest.mark.parametrize("k", [5, 6, 8])
+    def test_amo_sequential_matches_pairwise(self, k):
+        cnf = Cnf(k)
+        at_most_one_sequential(cnf, list(range(1, k + 1)))
+        models = enumerate_models(cnf, k)
+        assert len(models) == k + 1
+        assert all(sum(m) <= 1 for m in models)
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_exactly_one(self, k):
+        cnf = Cnf(k)
+        exactly_one(cnf, list(range(1, k + 1)))
+        models = enumerate_models(cnf, k)
+        assert len(models) == k
+        assert all(sum(m) == 1 for m in models)
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (5, 3), (5, 0), (3, 3)])
+    def test_at_most_k(self, n, k):
+        cnf = Cnf(n)
+        at_most_k_sequential(cnf, list(range(1, n + 1)), k)
+        models = enumerate_models(cnf, n)
+        expected = sum(
+            1 for bits in range(1 << n) if bin(bits).count("1") <= k
+        )
+        assert len(models) == expected
+        assert all(sum(m) <= k for m in models)
+
+    def test_tseitin_and_or_xor(self):
+        cnf = Cnf(3)
+        a = tseitin_and(cnf, [1, 2])
+        o = tseitin_or(cnf, [2, 3])
+        x = tseitin_xor(cnf, 1, 3)
+        for bits in range(8):
+            model_in = {v: bool((bits >> (v - 1)) & 1) for v in (1, 2, 3)}
+            cnf2 = Cnf(cnf.num_vars)
+            cnf2.add_clauses(cnf.clauses)
+            for v, val in model_in.items():
+                cnf2.add_clause([v if val else -v])
+            model = solve_cnf(cnf2)
+            assert model is not None
+            assert model[a] == (model_in[1] and model_in[2])
+            assert model[o] == (model_in[2] or model_in[3])
+            assert model[x] == (model_in[1] != model_in[3])
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-3])
+        text = write_dimacs(cnf)
+        again = parse_dimacs(text)
+        assert again.num_vars == cnf.num_vars
+        assert list(again) == list(cnf)
+
+    def test_parse_with_comments(self):
+        text = "c hello\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        cnf = parse_dimacs(text)
+        assert len(cnf) == 2 and cnf.num_vars == 3
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("1 2 0\n")
+        with pytest.raises(ValueError):
+            parse_dimacs("p wrong 1 1\n")
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10),
+           st.integers())
+    @settings(max_examples=30)
+    def test_roundtrip_random(self, num_vars, num_clauses, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf(rng, num_vars, num_clauses)
+        again = parse_dimacs(write_dimacs(cnf))
+        assert list(again) == list(cnf)

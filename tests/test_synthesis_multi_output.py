@@ -1,0 +1,113 @@
+"""Tests for multi-output shared diode planes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean import TruthTable
+from repro.synthesis import MultiOutputDiodePlane, shared_plane_report
+
+
+def adder_tables(width=1):
+    n = 2 * width
+
+    def bit(out):
+        def value(m):
+            a = m & ((1 << width) - 1)
+            b = m >> width
+            return bool(((a + b) >> out) & 1)
+
+        return TruthTable.from_callable(n, value)
+
+    return [bit(i) for i in range(width + 1)]
+
+
+class TestMultiOutputPlane:
+    def test_full_adder_shared_plane_implements(self):
+        plane = MultiOutputDiodePlane(adder_tables())
+        assert plane.implements_all()
+
+    def test_joint_minimization_beats_union_on_memory_bundle(self):
+        # ROM-style outputs overlap in minterms: the joint minimizer must
+        # find rows serving several outputs, beating the naive cover union.
+        contents = [0b1010, 0b0111, 0b1100, 0b0011, 0b1111, 0b0001, 0b1000,
+                    0b0110]
+        tables = [
+            TruthTable.from_callable(3, lambda m, o=o: bool((contents[m] >> o) & 1))
+            for o in range(4)
+        ]
+        joint = MultiOutputDiodePlane(tables, mode="joint")
+        union = MultiOutputDiodePlane(tables, mode="union")
+        assert joint.implements_all() and union.implements_all()
+        assert joint.num_rows < union.num_rows
+
+    def test_sharing_saves_area_on_fanout_bundle(self):
+        # Replicated outputs (fan-out buffering) are the extreme sharing
+        # case: one row set serves every output column.
+        g = TruthTable.from_callable(5, lambda m: bin(m).count("1") > 2)
+        report = shared_plane_report([g, g, g])
+        assert report.shared_area < report.independent_area
+        assert report.saving > 0
+
+    def test_sharing_can_lose_on_disjoint_covers(self):
+        # lt/gt covers share neither products nor literals: the shared
+        # plane honestly costs more than independent planes.
+        n = 4
+
+        def unpack(m):
+            return m & 0b11, m >> 2
+
+        tables = [
+            TruthTable.from_callable(n, lambda m: unpack(m)[0] < unpack(m)[1]),
+            TruthTable.from_callable(n, lambda m: unpack(m)[0] > unpack(m)[1]),
+        ]
+        report = shared_plane_report(tables)
+        assert report.shared_area > report.independent_area
+
+    def test_identical_outputs_share_all_rows(self):
+        t = TruthTable.from_minterms(3, [1, 3, 6])
+        plane = MultiOutputDiodePlane([t, t])
+        single = MultiOutputDiodePlane([t])
+        assert plane.num_rows == single.num_rows
+        assert plane.num_cols == single.num_cols + 1
+
+    def test_disjoint_outputs_no_row_sharing(self):
+        a = TruthTable.from_minterms(2, [3])       # x1 x2
+        b = TruthTable.from_minterms(2, [0])       # x1' x2'
+        plane = MultiOutputDiodePlane([a, b])
+        assert plane.num_rows == 2
+        assert plane.output_rows[0].isdisjoint(plane.output_rows[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiOutputDiodePlane([])
+        with pytest.raises(ValueError):
+            MultiOutputDiodePlane([TruthTable.constant(2, True),
+                                   TruthTable.constant(3, True)])
+        with pytest.raises(ValueError):
+            MultiOutputDiodePlane([TruthTable.constant(2, False)])
+
+    def test_evaluate_packs_outputs(self):
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        plane = MultiOutputDiodePlane([a, b])
+        assert plane.evaluate(0b01) == 0b01
+        assert plane.evaluate(0b10) == 0b10
+        assert plane.evaluate(0b11) == 0b11
+
+    @given(st.lists(
+        st.integers(min_value=1, max_value=254), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_random_bundles_implement(self, bit_patterns):
+        tables = [TruthTable.from_bits(3, bits) for bits in bit_patterns]
+        plane = MultiOutputDiodePlane(tables)
+        assert plane.implements_all()
+        # shared never beats the sum of per-output rows
+        assert plane.num_rows <= sum(
+            c.num_products for c in plane.covers
+        )
+
+    def test_report_fields(self):
+        report = shared_plane_report(adder_tables())
+        assert report.num_outputs == 2
+        assert report.shared_area == report.shared_rows * report.shared_cols
+        assert report.saving == report.independent_area - report.shared_area
