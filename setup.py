@@ -1,4 +1,30 @@
-"""Shim for legacy editable installs (offline environment without `wheel`)."""
-from setuptools import setup
+"""Package metadata + console entry point.
 
-setup()
+Kept as a plain setup.py (no pyproject build isolation) so legacy editable
+installs keep working in the offline environment without `wheel`.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="nanoxbar",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Computing with Nano-Crossbar Arrays: Logic "
+        "Synthesis and Fault Tolerance' (Altun, Ciriani, Tahoori, DATE 2017)"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "nanoxbar = repro.eval.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Electronic Design Automation (EDA)",
+    ],
+)

@@ -13,6 +13,7 @@ Sub-packages:
   variation and yield models (Section IV)
 * :mod:`repro.arch`        — arithmetic / memory / SSM extensions (Section V)
 * :mod:`repro.eval`        — benchmark suite + experiment registry + CLI
+* :mod:`repro.engine`      — parallel batch-synthesis engine
 
 Quickstart::
 
@@ -21,11 +22,35 @@ Quickstart::
 
     f = BooleanFunction.from_expression("x1 x2 + x1' x2'")
     lattice = synthesize_lattice_dual(f.on)   # the paper's 2x2 example
+
+Batch synthesis engine
+----------------------
+
+:mod:`repro.engine` turns the single-function flows above into a batch
+service: declarative :class:`~repro.engine.SynthesisJob` descriptions, a
+persistent SQLite result store keyed by the NPN-canonical form (array
+synthesis cost is NPN-invariant, so one cached race serves the whole
+equivalence class — hits are rewritten back through the stored witness
+transform), a strategy portfolio racing the dual-based, D-reducible,
+P-circuit and SAT-optimal flows under deterministic effort budgets, and a
+sharded multiprocessing pool with serial fallback.  ``nanoxbar batch``
+drives the whole standard benchmark suite through it in one shot::
+
+    from repro.engine import BatchEngine, SynthesisJob
+    from repro.eval.benchsuite import standard_suite
+
+    jobs = [SynthesisJob.from_function(b.function, b.name)
+            for b in standard_suite()]
+    with BatchEngine(cache_path="results.sqlite", processes=4) as engine:
+        results = engine.run(jobs)   # bit-identical in serial / pooled mode
+        print(engine.report())       # hit rate, dedup, throughput, wins
 """
 
 from . import arch, boolean, crossbar, eval, reliability, sat, synthesis
+from . import engine
 from .boolean import BooleanFunction, Cover, Cube, Literal, TruthTable
 from .crossbar import DiodeCrossbar, FetCrossbar, Lattice
+from .engine import BatchEngine, JobResult, SynthesisJob
 from .synthesis import (
     synthesize_diode,
     synthesize_dreducible,
@@ -38,18 +63,22 @@ from .synthesis import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEngine",
     "BooleanFunction",
     "Cover",
     "Cube",
     "DiodeCrossbar",
     "FetCrossbar",
+    "JobResult",
     "Lattice",
     "Literal",
+    "SynthesisJob",
     "TruthTable",
     "__version__",
     "arch",
     "boolean",
     "crossbar",
+    "engine",
     "eval",
     "reliability",
     "sat",

@@ -109,7 +109,7 @@ class TruthTable:
         """Build from an integer whose bit ``m`` is ``f(m)``."""
         _check_n(n)
         idx = np.arange(1 << n)
-        if n <= 6:
+        if n <= 6 and bits < (1 << 63):  # keep numpy's shift inside int64
             arr = ((bits >> idx) & 1).astype(bool)
         else:
             arr = np.fromiter((((bits >> int(m)) & 1) for m in idx),

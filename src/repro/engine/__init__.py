@@ -1,0 +1,77 @@
+"""Parallel batch-synthesis engine (the scaling substrate of the repo).
+
+The paper's synthesis flows are single-function calls; this package turns
+them into a batch service:
+
+* :mod:`repro.engine.jobs`      — declarative ``SynthesisJob`` / ``JobResult``
+* :mod:`repro.engine.cache`     — persistent NPN-canonical result store
+* :mod:`repro.engine.portfolio` — strategy race (dual / D-reducible /
+  P-circuit / SAT-optimal) under deterministic effort budgets
+* :mod:`repro.engine.pool`      — sharded multiprocessing map with serial
+  fallback
+* :mod:`repro.engine.engine`    — the ``BatchEngine`` facade
+
+Quickstart::
+
+    from repro.engine import BatchEngine, SynthesisJob
+    from repro.eval.benchsuite import standard_suite
+
+    jobs = [SynthesisJob.from_function(b.function, b.name)
+            for b in standard_suite()]
+    with BatchEngine(cache_path="results.sqlite", processes=4) as engine:
+        results = engine.run(jobs)
+        print(engine.report())
+"""
+
+from .cache import (
+    CachedResult,
+    ResultCache,
+    canonical_cache_key,
+    canonical_polarity_table,
+    lattice_from_text,
+    lattice_to_text,
+    transform_lattice_from_canonical,
+    transform_lattice_to_canonical,
+)
+from .engine import BatchEngine, EngineStats
+from .jobs import (
+    DEFAULT_STRATEGIES,
+    FaultToleranceReport,
+    FaultToleranceSpec,
+    JobResult,
+    StrategyOutcome,
+    SynthesisJob,
+)
+from .pool import chunk_size, default_processes, map_sharded
+from .portfolio import (
+    PortfolioConfig,
+    PortfolioResult,
+    known_strategies,
+    run_portfolio,
+)
+
+__all__ = [
+    "BatchEngine",
+    "CachedResult",
+    "DEFAULT_STRATEGIES",
+    "EngineStats",
+    "FaultToleranceReport",
+    "FaultToleranceSpec",
+    "JobResult",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "ResultCache",
+    "StrategyOutcome",
+    "SynthesisJob",
+    "canonical_cache_key",
+    "canonical_polarity_table",
+    "chunk_size",
+    "default_processes",
+    "known_strategies",
+    "lattice_from_text",
+    "lattice_to_text",
+    "map_sharded",
+    "run_portfolio",
+    "transform_lattice_from_canonical",
+    "transform_lattice_to_canonical",
+]

@@ -1,0 +1,287 @@
+"""Persistent NPN-canonical result store (SQLite-backed).
+
+Lattice synthesis cost is invariant under input permutation and input
+negation (literals are free in both polarities on a crossbar), and a
+lattice for the complement is a distinct but equally cacheable object.  The
+cache therefore keys results by the **NPN-canonical form** of the target
+function plus a *polarity slot*:
+
+* ``canonical_cache_key`` maps a truth table to its NPN canonical
+  representative ``c`` and the witness :class:`~repro.boolean.npn.NpnTransform`
+  ``t`` with ``c(x) = f(sigma_t(x)) ^ t.output_negate``;
+* the stored lattice implements the *canonical-polarity* function
+  ``g = c ^ t.output_negate`` — i.e. ``g(x) = f(sigma_t(x))`` — so a hit is
+  rewritten back to the original ``f`` by the **input-only** literal
+  substitution of :func:`transform_lattice_from_canonical` (no lattice
+  complementation is ever needed);
+* functions with more than :data:`MAX_NPN_VARS` variables fall back to an
+  identity witness (exact-match caching) because exhaustive NPN
+  canonicalisation is exponential in ``n``.
+
+Every rewritten lattice is re-verified against the requesting function by
+the engine, so a stale or corrupted cache can never produce a wrong
+answer — only a slower one.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..boolean.cube import Literal
+from ..boolean.npn import NpnTransform, npn_canonical
+from ..boolean.truthtable import TruthTable
+from ..crossbar.lattice import Lattice, Site
+from .jobs import StrategyOutcome
+
+#: Exhaustive NPN canonicalisation is n! * 2^n * 2; keep it to small n.
+MAX_NPN_VARS = 5
+
+
+# ----------------------------------------------------------------------
+# Canonical keys and witness transforms
+# ----------------------------------------------------------------------
+def identity_transform(n: int) -> NpnTransform:
+    return NpnTransform(tuple(range(n)), 0, False)
+
+
+def canonical_cache_key(table: TruthTable,
+                        max_npn_vars: int = MAX_NPN_VARS
+                        ) -> tuple[str, NpnTransform]:
+    """The cache key text for ``table`` plus the witness transform.
+
+    For ``n <= max_npn_vars`` the key is the hex-packed NPN canonical
+    representative; beyond that the raw table is the key (identity witness),
+    trading class-level sharing for tractability.
+    """
+    return _canonical_from_bits(table.n, table.bits, max_npn_vars)
+
+
+@lru_cache(maxsize=1 << 14)
+def _canonical_from_bits(n: int, bits: int, max_npn_vars: int
+                         ) -> tuple[str, NpnTransform]:
+    # Exhaustive canonicalisation is the warm-path bottleneck (n! * 2^n+1
+    # candidate transforms), so memoise per packed table.
+    table = TruthTable.from_bits(n, bits)
+    if n <= max_npn_vars:
+        canonical, transform = npn_canonical(table)
+    else:
+        canonical, transform = table, identity_transform(n)
+    width = max(1, ((1 << n) + 3) // 4)
+    return f"{canonical.bits:0{width}x}", transform
+
+
+def canonical_polarity_table(table: TruthTable,
+                             transform: NpnTransform) -> TruthTable:
+    """The canonical-polarity function ``g`` with ``g(x) = f(sigma(x))``.
+
+    ``g`` equals the canonical representative when the witness has no
+    output negation, and its complement otherwise; either way ``g`` is
+    reachable from ``f`` by input transforms alone, which is what makes the
+    stored lattice rewritable without complementation.
+    """
+    from ..boolean.npn import apply_transform
+
+    canonical = apply_transform(table, transform)
+    return ~canonical if transform.output_negate else canonical
+
+
+def _map_sites(lattice: Lattice, mapping) -> Lattice:
+    return lattice.map_sites(
+        lambda r, c, site: mapping(site) if isinstance(site, Literal) else site
+    )
+
+
+def transform_lattice_to_canonical(lattice: Lattice,
+                                   transform: NpnTransform) -> Lattice:
+    """Rewrite a lattice for ``f`` into one for ``g(x) = f(sigma(x))``.
+
+    With ``sigma(x)[perm[i]] = x[i] ^ neg[perm[i]]``, a site reading
+    ``f``-input ``v`` becomes a site reading ``g``-input ``perm^-1(v)``
+    with polarity flipped when ``neg[v]`` is set.
+    """
+    inverse = [0] * len(transform.permutation)
+    for new_var, old_var in enumerate(transform.permutation):
+        inverse[old_var] = new_var
+    neg = transform.input_negation_mask
+
+    def remap(site: Literal) -> Literal:
+        flip = bool((neg >> site.var) & 1)
+        return Literal(inverse[site.var], site.positive ^ flip)
+
+    return _map_sites(lattice, remap)
+
+
+def transform_lattice_from_canonical(lattice: Lattice,
+                                     transform: NpnTransform) -> Lattice:
+    """Rewrite a cached lattice for ``g`` back into one for the original ``f``.
+
+    Inverse of :func:`transform_lattice_to_canonical`: ``f(y) =
+    g(sigma^-1(y))`` and ``sigma^-1(y)[i] = y[perm[i]] ^ neg[perm[i]]``.
+    """
+    perm = transform.permutation
+    neg = transform.input_negation_mask
+
+    def remap(site: Literal) -> Literal:
+        old_var = perm[site.var]
+        flip = bool((neg >> old_var) & 1)
+        return Literal(old_var, site.positive ^ flip)
+
+    return _map_sites(lattice, remap)
+
+
+# ----------------------------------------------------------------------
+# Lattice serialisation (compact, human-greppable)
+# ----------------------------------------------------------------------
+def _site_token(site: Site) -> str:
+    if site is True:
+        return "1"
+    if site is False:
+        return "0"
+    return f"{'p' if site.positive else 'n'}{site.var}"
+
+
+def _site_from_token(token: str) -> Site:
+    if token == "1":
+        return True
+    if token == "0":
+        return False
+    return Literal(int(token[1:]), token[0] == "p")
+
+
+def lattice_to_text(lattice: Lattice) -> str:
+    """Serialise as rows of space-separated site tokens."""
+    return "\n".join(" ".join(_site_token(s) for s in row)
+                     for row in lattice.sites)
+
+
+def lattice_from_text(n: int, text: str) -> Lattice:
+    return Lattice(n, [[_site_from_token(tok) for tok in line.split()]
+                       for line in text.splitlines()])
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CachedResult:
+    """One persisted portfolio answer (for the canonical-polarity function)."""
+
+    strategy: str
+    lattice: Lattice
+    outcomes: tuple[StrategyOutcome, ...]
+
+    @property
+    def area(self) -> int:
+        return self.lattice.area
+
+
+def _outcomes_to_json(outcomes: tuple[StrategyOutcome, ...]) -> str:
+    return json.dumps([
+        {"strategy": o.strategy, "status": o.status, "area": o.area,
+         "shape": list(o.shape), "elapsed": o.elapsed, "detail": o.detail}
+        for o in outcomes
+    ])
+
+
+def _outcomes_from_json(text: str) -> tuple[StrategyOutcome, ...]:
+    return tuple(
+        StrategyOutcome(
+            strategy=o["strategy"], status=o["status"], area=o["area"],
+            shape=tuple(o["shape"]), elapsed=o["elapsed"], detail=o["detail"],
+        )
+        for o in json.loads(text)
+    )
+
+
+class ResultCache:
+    """SQLite-backed map ``(n, canonical key, config) -> CachedResult``.
+
+    ``path=":memory:"`` gives a process-local ephemeral cache with the same
+    interface.  The ``config`` column fingerprints the portfolio
+    configuration so differently-configured runs never cross-contaminate.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS results (
+        n        INTEGER NOT NULL,
+        canon    TEXT    NOT NULL,
+        polarity INTEGER NOT NULL,
+        config   TEXT    NOT NULL,
+        strategy TEXT    NOT NULL,
+        area     INTEGER NOT NULL,
+        lattice  TEXT    NOT NULL,
+        outcomes TEXT    NOT NULL,
+        created  REAL    NOT NULL,
+        PRIMARY KEY (n, canon, polarity, config)
+    )
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(self._SCHEMA)
+        self._conn.commit()
+
+    # -- mapping interface ------------------------------------------------
+    def get(self, n: int, canon: str, polarity: bool,
+            config: str) -> CachedResult | None:
+        row = self._conn.execute(
+            "SELECT strategy, lattice, outcomes FROM results"
+            " WHERE n = ? AND canon = ? AND polarity = ? AND config = ?",
+            (n, canon, int(polarity), config),
+        ).fetchone()
+        if row is None:
+            return None
+        strategy, lattice_text, outcomes_text = row
+        try:
+            return CachedResult(
+                strategy=strategy,
+                lattice=lattice_from_text(n, lattice_text),
+                outcomes=_outcomes_from_json(outcomes_text),
+            )
+        except (ValueError, TypeError, KeyError, IndexError,
+                json.JSONDecodeError):
+            # An unparseable row reads as a miss: the engine re-races and
+            # overwrites it (corruption costs time, never correctness).
+            return None
+
+    def put(self, n: int, canon: str, polarity: bool, config: str,
+            result: CachedResult) -> None:
+        self.put_many([(n, canon, polarity, config, result)])
+
+    def put_many(self, entries: list[tuple[int, str, bool, str, CachedResult]]
+                 ) -> None:
+        """Persist a batch of entries in a single transaction/fsync."""
+        now = time.time()
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO results"
+            " (n, canon, polarity, config,"
+            "  strategy, area, lattice, outcomes, created)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(n, canon, int(polarity), config, result.strategy, result.area,
+              lattice_to_text(result.lattice),
+              _outcomes_to_json(result.outcomes), now)
+             for n, canon, polarity, config, result in entries],
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(count)
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM results")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

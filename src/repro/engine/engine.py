@@ -1,0 +1,281 @@
+"""The :class:`BatchEngine` facade: cache-probe, dedupe, shard, rewrite.
+
+The pipeline for ``run(jobs)``:
+
+1. **Canonicalise** every job's function and probe the persistent cache
+   (:mod:`repro.engine.cache`) under the portfolio-config fingerprint.
+2. **Dedupe** the misses by canonical key — one portfolio race per NPN
+   class per batch, however many jobs land in it.
+3. **Shard** the unique races across the worker pool
+   (:mod:`repro.engine.pool`); workers synthesise the canonical-polarity
+   function, so their results are directly storable.
+4. **Rewrite** each cached/computed canonical lattice back to the job's
+   original function through the stored NPN witness, re-verify it against
+   the job's truth table, and run any requested fault-tolerance
+   post-processing (defect-aware mapping, TMR) with a per-job seed.
+
+Workers are pure functions of their task tuples and all tie-breaks are
+deterministic, so serial and pooled runs return bit-identical results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Iterable, Sequence
+
+from ..boolean.npn import NpnTransform
+from ..boolean.truthtable import TruthTable
+from .cache import (
+    CachedResult,
+    ResultCache,
+    canonical_cache_key,
+    canonical_polarity_table,
+    transform_lattice_from_canonical,
+)
+from .jobs import (
+    FaultToleranceReport,
+    FaultToleranceSpec,
+    JobResult,
+    SynthesisJob,
+)
+from .pool import default_processes, map_sharded
+from .portfolio import PortfolioConfig, run_portfolio
+
+
+@dataclass
+class EngineStats:
+    """Aggregate accounting for one or more ``run`` calls."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    races_run: int = 0
+    deduped: int = 0
+    elapsed: float = 0.0
+    strategy_wins: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Functions per second over the accounted runs."""
+        return self.jobs / self.elapsed if self.elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        wins = ", ".join(f"{name}:{count}"
+                         for name, count in sorted(self.strategy_wins.items()))
+        return (
+            f"jobs={self.jobs}  hits={self.cache_hits}  "
+            f"misses={self.cache_misses}  races={self.races_run}  "
+            f"deduped={self.deduped}  hit_rate={self.hit_rate:.1%}  "
+            f"throughput={self.throughput:.2f} fn/s\n"
+            f"strategy wins: {wins or '-'}"
+        )
+
+
+def _race_task(task: tuple[str, int, int, tuple[str, ...]],
+               config: PortfolioConfig) -> tuple[str, CachedResult]:
+    """Worker body: run one portfolio race on a canonical-polarity function.
+
+    Module-level (and driven through ``functools.partial``) so it pickles
+    across the process pool.
+    """
+    canon, n, bits, strategies = task
+    table = TruthTable.from_bits(n, bits)
+    outcome = run_portfolio(table, strategies, config)
+    return canon, CachedResult(
+        strategy=outcome.strategy,
+        lattice=outcome.lattice,
+        outcomes=outcome.outcomes,
+    )
+
+
+def _fault_tolerance_report(lattice, spec: FaultToleranceSpec,
+                            job: SynthesisJob) -> FaultToleranceReport:
+    """Deterministic reliability post-processing for one job.
+
+    The RNG stream is derived from the spec's seed plus the *job content*
+    (not its batch position), so the same benchmark under the same seed
+    sees the same fabric regardless of which other jobs ran alongside it.
+    """
+    from ..reliability.defects import random_defect_map
+    from ..reliability.lattice_mapping import map_lattice_random
+    from ..reliability.redundancy import make_tmr
+
+    mapped = False
+    trials = 0
+    exploited = 0
+    if spec.defect_density > 0:
+        content = zlib.crc32(f"{job.n}/{job.bits}/{job.label}".encode())
+        rng = random.Random((spec.seed << 32) ^ content)
+        fabric_rows = max(spec.fabric_rows, lattice.rows)
+        fabric_cols = max(spec.fabric_cols, lattice.cols)
+        defect_map = random_defect_map(fabric_rows, fabric_cols,
+                                       spec.defect_density, rng)
+        result = map_lattice_random(lattice, defect_map, rng,
+                                    max_trials=spec.mapping_trials)
+        mapped = result.success
+        trials = result.trials
+        exploited = result.exploited_defects
+    tmr_area = make_tmr(lattice).area if spec.redundancy == "tmr" else 0
+    return FaultToleranceReport(
+        mapped=mapped,
+        mapping_trials=trials,
+        exploited_defects=exploited,
+        tmr_area=tmr_area,
+    )
+
+
+class BatchEngine:
+    """Parallel batch synthesis with a persistent NPN-canonical cache.
+
+    Args:
+        cache_path: SQLite file for the result store (``":memory:"`` for an
+            ephemeral per-engine cache).
+        processes: worker count for the sharded pool; ``1`` runs serially
+            and ``None`` picks :func:`~repro.engine.pool.default_processes`.
+        config: deterministic portfolio knobs (shared by every job).
+    """
+
+    def __init__(self, cache_path: str = ":memory:",
+                 processes: int | None = 1,
+                 config: PortfolioConfig | None = None):
+        self.cache = ResultCache(cache_path)
+        self.processes = default_processes() if processes is None else processes
+        self.config = config or PortfolioConfig()
+        self.stats = EngineStats()
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        self.cache.close()
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the batch pipeline ----------------------------------------------
+    def run(self, jobs: Sequence[SynthesisJob] | Iterable[SynthesisJob]
+            ) -> list[JobResult]:
+        """Synthesize every job, reusing the cache and the pool."""
+        jobs = list(jobs)
+        start = time.perf_counter()
+
+        # Phase 1: canonicalise + probe the cache.  The NPN canonical key
+        # is shared by a function and its complement-reachable classmates,
+        # so the *polarity* of the witness (its output negation) is part of
+        # the slot: each class stores up to two lattices, one per polarity.
+        keys: list[tuple[str, NpnTransform]] = []
+        probed: list[CachedResult | None] = []
+        tasks: dict[str, tuple[str, int, int, tuple[str, ...]]] = {}
+        task_keys: list[str] = []
+        deduped = 0
+        for job in jobs:
+            table = job.table
+            canon, transform = canonical_cache_key(table)
+            config_fp = self.config.fingerprint(job.strategies)
+            polarity = transform.output_negate
+            keys.append((canon, transform))
+            cached = self.cache.get(job.n, canon, polarity, config_fp)
+            probed.append(cached)
+            task_key = f"{job.n}/{canon}/{int(polarity)}/{config_fp}"
+            task_keys.append(task_key)
+            if cached is None:
+                if task_key in tasks:
+                    deduped += 1
+                else:
+                    g_table = canonical_polarity_table(table, transform)
+                    tasks[task_key] = (task_key, job.n, g_table.bits,
+                                      job.strategies)
+
+        # Phase 2+3: race the unique misses across the pool, then persist
+        # the whole wave in one transaction.
+        worker = partial(_race_task, config=self.config)
+        raced = dict(map_sharded(worker, list(tasks.values()), self.processes))
+        self.cache.put_many([
+            (int(n), canon, polarity == "1", config_fp, result)
+            for task_key, result in raced.items()
+            for n, canon, polarity, config_fp in [task_key.split("/", 3)]
+        ])
+
+        # Phase 4: rewrite each canonical answer back to its job.
+        results: list[JobResult] = []
+        healed: dict[str, CachedResult] = {}
+        for index, (job, (canon, transform), cached) in enumerate(
+                zip(jobs, keys, probed)):
+            job_start = time.perf_counter()
+            hit = cached is not None
+            if cached is None:
+                cached = raced.get(task_keys[index])
+            if cached is None:  # pragma: no cover - phase 2 guarantees presence
+                raise RuntimeError(f"cache lost the result for {job.label}")
+            table = job.table
+            lattice = transform_lattice_from_canonical(cached.lattice,
+                                                       transform)
+            if not lattice.implements(table):
+                if not hit:
+                    raise RuntimeError(
+                        f"freshly-raced lattice for {job.label!r} failed "
+                        "the witness-rewrite verification (engine bug)")
+                # A corrupted persistent entry costs time, never
+                # correctness: re-race this class and overwrite the row.
+                cached = healed.get(task_keys[index])
+                if cached is None:
+                    g_table = canonical_polarity_table(table, transform)
+                    _, cached = _race_task(
+                        (task_keys[index], job.n, g_table.bits,
+                         job.strategies),
+                        self.config)
+                    n, canon_text, polarity, config_fp = \
+                        task_keys[index].split("/", 3)
+                    self.cache.put(int(n), canon_text, polarity == "1",
+                                   config_fp, cached)
+                    healed[task_keys[index]] = cached
+                hit = False
+                lattice = transform_lattice_from_canonical(cached.lattice,
+                                                           transform)
+                if not lattice.implements(table):  # pragma: no cover
+                    raise RuntimeError(
+                        f"re-raced lattice for {job.label!r} still fails "
+                        "verification (engine bug)")
+            report = None
+            if job.fault_tolerance is not None:
+                report = _fault_tolerance_report(lattice, job.fault_tolerance,
+                                                 job)
+            results.append(JobResult(
+                label=job.label,
+                n=job.n,
+                strategy=cached.strategy,
+                lattice=lattice,
+                cache_hit=hit,
+                elapsed=time.perf_counter() - job_start,
+                outcomes=cached.outcomes,
+                fault_tolerance=report,
+            ))
+
+        # Accounting.
+        elapsed = time.perf_counter() - start
+        hits = sum(1 for result in results if result.cache_hit)
+        self.stats.jobs += len(jobs)
+        self.stats.cache_hits += hits
+        self.stats.cache_misses += len(jobs) - hits
+        self.stats.races_run += len(tasks) + len(healed)
+        self.stats.deduped += deduped
+        self.stats.elapsed += elapsed
+        for result in results:
+            self.stats.strategy_wins[result.strategy] = (
+                self.stats.strategy_wins.get(result.strategy, 0) + 1)
+        return results
+
+    def report(self) -> str:
+        """Human-readable throughput / cache summary."""
+        mode = "serial" if self.processes <= 1 else f"{self.processes} workers"
+        return (f"BatchEngine [{mode}, cache={self.cache.path}, "
+                f"{len(self.cache)} entries]\n" + self.stats.render())

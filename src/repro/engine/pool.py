@@ -1,0 +1,55 @@
+"""Sharded multiprocessing map with deterministic chunking.
+
+The engine's unit of parallel work is one *unique* canonical function (the
+cache layer dedupes before the pool sees anything), so tasks are few and
+coarse.  :func:`map_sharded` preserves input order, computes its chunk size
+deterministically from the task count, and degrades to serial execution
+whenever a pool cannot be created (restricted sandboxes, missing semaphore
+support) or ``processes <= 1`` — callers observe identical results either
+way, just different wall-clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_processes() -> int:
+    """A sensible worker count: the CPU count, capped to keep forks cheap."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def chunk_size(num_tasks: int, processes: int) -> int:
+    """Deterministic chunking: about two chunks per worker, at least 1."""
+    if num_tasks <= 0 or processes <= 1:
+        return 1
+    return max(1, -(-num_tasks // (2 * processes)))
+
+
+def map_sharded(fn: Callable[[T], R], items: Sequence[T],
+                processes: int = 1) -> list[R]:
+    """Order-preserving parallel map with graceful serial fallback."""
+    items = list(items)
+    if processes <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(processes, len(items))
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context()
+    try:
+        pool = ctx.Pool(workers)
+    except (OSError, PermissionError, RuntimeError, ImportError):
+        # Pool creation (or the semaphores behind it) can be forbidden in
+        # sandboxed environments; the contract is identical results, so
+        # fall back to the serial path rather than failing the batch.
+        # Exceptions raised *inside* workers are not caught here — they
+        # propagate out of pool.map exactly as they would serially.
+        return [fn(item) for item in items]
+    with pool:
+        return pool.map(fn, items, chunksize=chunk_size(len(items), workers))

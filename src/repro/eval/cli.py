@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 import argparse
+import sqlite3
 import sys
 
 from .benchsuite import by_name, standard_suite
@@ -26,7 +27,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    experiment = get_experiment(args.experiment)
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     result = experiment.run(args.fast)
     print(result.render())
     return 0
@@ -82,7 +87,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"{benchmark.name:14s} n={benchmark.n}  [{tags}]  "
                   f"{benchmark.description}")
         return 0
-    benchmark = by_name(args.name)
+    try:
+        benchmark = by_name(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     f = benchmark.function
     print(f"{benchmark.name}: {benchmark.description}")
     print(f"  n = {f.n}, |on| = {f.on.count_ones()}")
@@ -91,6 +100,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"  products = {metrics['products']}, "
           f"dual products = {metrics['dual_products']}, "
           f"distinct literals = {metrics['distinct_literals']}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from ..engine import (
+        DEFAULT_STRATEGIES,
+        BatchEngine,
+        FaultToleranceSpec,
+        SynthesisJob,
+    )
+    from .benchsuite import suite
+
+    benchmarks = suite(tags=args.tags or None, max_vars=args.max_vars)
+    if not benchmarks:
+        print("error: no benchmarks match the selection", file=sys.stderr)
+        return 2
+    strategies = DEFAULT_STRATEGIES
+    if args.no_optimal:
+        strategies = tuple(s for s in strategies if s != "optimal")
+    fault_tolerance = None
+    if args.defect_density != 0 or args.redundancy != "none":
+        try:
+            fault_tolerance = FaultToleranceSpec(
+                defect_density=args.defect_density,
+                redundancy=args.redundancy,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    jobs = [
+        SynthesisJob.from_function(b.function, b.name, strategies,
+                                   fault_tolerance)
+        for b in benchmarks
+    ]
+    cache_path = ":memory:" if args.no_cache else args.cache
+    processes = None if args.processes == 0 else args.processes
+    try:
+        engine = BatchEngine(cache_path=cache_path, processes=processes)
+    except sqlite3.DatabaseError as error:
+        print(f"error: cannot open cache {cache_path!r}: {error}",
+              file=sys.stderr)
+        print(f"hint: delete {cache_path!r} and rerun", file=sys.stderr)
+        return 1
+    with engine:
+        try:
+            results = engine.run(jobs)
+        except (RuntimeError, sqlite3.DatabaseError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            if not args.no_cache:
+                # Corrupted entries self-heal on the next run; deleting the
+                # cache is the last resort (and destroys valid results), so
+                # suggest retrying first — e.g. a concurrent batch run can
+                # surface here as a transient "database is locked".
+                print(f"hint: rerun the command; if the error persists, "
+                      f"delete {cache_path!r} to rebuild the cache",
+                      file=sys.stderr)
+            return 1
+        for result in results:
+            line = (f"{result.label:14s} n={result.n}  "
+                    f"{result.strategy:10s} {result.shape[0]:>2d}x"
+                    f"{result.shape[1]:<2d} area={result.area:<3d} "
+                    f"{'hit' if result.cache_hit else 'miss'}")
+            ft = result.fault_tolerance
+            if ft is not None:
+                if args.defect_density > 0:
+                    line += ("  mapped" if ft.mapped else "  unmapped")
+                if ft.tmr_area:
+                    line += f"  tmr_area={ft.tmr_area}"
+            print(line)
+        print()
+        print(engine.report())
     return 0
 
 
@@ -122,6 +203,32 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--style", default="all",
                        choices=["all", "diode", "fet", "lattice", "optimal"])
     synth.set_defaults(fn=_cmd_synth)
+
+    batch = sub.add_parser(
+        "batch",
+        help="synthesize a whole benchmark suite through the batch engine")
+    batch.add_argument("--cache", default=".nanoxbar-cache.sqlite",
+                       help="persistent result-cache path")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="use an ephemeral in-memory cache")
+    batch.add_argument("--processes", type=int, default=1,
+                       help="worker processes (0 = auto)")
+    batch.add_argument("--tags", nargs="*", default=None,
+                       help="restrict to benchmarks carrying any of these tags")
+    batch.add_argument("--max-vars", type=int, default=None,
+                       help="restrict to benchmarks with at most this many "
+                            "variables")
+    batch.add_argument("--no-optimal", action="store_true",
+                       help="drop the SAT-optimal strategy from the portfolio")
+    batch.add_argument("--defect-density", type=float, default=0.0,
+                       help="also map each lattice onto a random defective "
+                            "fabric with this defect density")
+    batch.add_argument("--redundancy", default="none",
+                       choices=["none", "tmr"],
+                       help="also build TMR redundancy around each lattice")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="seed for the fault-tolerance post-processing")
+    batch.set_defaults(fn=_cmd_batch)
     return parser
 
 

@@ -1,0 +1,212 @@
+"""NPN-canonical cache keys, witness rewrites, and the SQLite store."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolean.npn import apply_transform, npn_canonical
+from repro.boolean.truthtable import TruthTable
+from repro.engine.cache import (
+    CachedResult,
+    ResultCache,
+    canonical_cache_key,
+    canonical_polarity_table,
+    lattice_from_text,
+    lattice_to_text,
+    transform_lattice_from_canonical,
+    transform_lattice_to_canonical,
+)
+from repro.engine.jobs import StrategyOutcome
+from repro.synthesis.compose import constant_lattice
+from repro.synthesis.lattice_dual import synthesize_lattice_dual
+from repro.synthesis.optimize import fold_lattice
+
+
+def _random_tables(count: int, seed: int, max_vars: int = 4):
+    rng = random.Random(seed)
+    for _ in range(count):
+        n = rng.randint(1, max_vars)
+        bits = rng.getrandbits(1 << n)
+        yield TruthTable.from_bits(n, bits)
+
+
+def _synthesize(table: TruthTable):
+    if table.is_constant():
+        return constant_lattice(table.n, bool(table.evaluate(0)))
+    return fold_lattice(synthesize_lattice_dual(table), table)
+
+
+class TestCanonicalRoundTrip:
+    def test_canonicalize_synthesize_untransform(self):
+        """The satellite contract: canonicalize -> synthesize on the
+        canonical-polarity function -> rewrite back through the stored
+        witness -> the recovered lattice evaluates the original function
+        on all 2^n inputs."""
+        for table in _random_tables(40, seed=2017):
+            canon, transform = canonical_cache_key(table)
+            g = canonical_polarity_table(table, transform)
+            lattice_g = _synthesize(g)
+            recovered = transform_lattice_from_canonical(lattice_g, transform)
+            assert recovered.implements(table), (
+                f"witness rewrite broke {table!r} via {transform}")
+
+    def test_forward_transform_is_inverse(self):
+        """to_canonical(from_canonical(L)) and vice versa are identities."""
+        for table in _random_tables(25, seed=7):
+            _, transform = canonical_cache_key(table)
+            g = canonical_polarity_table(table, transform)
+            lattice_f = _synthesize(table)
+            lattice_g = transform_lattice_to_canonical(lattice_f, transform)
+            assert lattice_g.implements(g)
+            back = transform_lattice_from_canonical(lattice_g, transform)
+            assert back == lattice_f
+
+    def test_canonical_polarity_reaches_g_by_input_transforms(self):
+        """g(x) = f(sigma(x)): re-deriving g through apply_transform with
+        the output negation stripped must agree."""
+        for table in _random_tables(25, seed=99):
+            _, transform = canonical_cache_key(table)
+            g = canonical_polarity_table(table, transform)
+            canonical = apply_transform(table, transform)
+            expected = ~canonical if transform.output_negate else canonical
+            assert g == expected
+
+    def test_npn_class_members_share_keys(self):
+        base = TruthTable.from_bits(3, 0b10010110)  # xor3
+        canon_base, _ = canonical_cache_key(base)
+        rng = random.Random(5)
+        for _ in range(5):
+            perm = list(range(3))
+            rng.shuffle(perm)
+            variant = base.permute(perm)
+            canon, _ = canonical_cache_key(variant)
+            assert canon == canon_base
+
+    def test_complement_shares_npn_key_distinct_polarity_table(self):
+        f = TruthTable.from_bits(3, 0b11101000)  # maj3
+        g = ~f
+        key_f, t_f = canonical_cache_key(f)
+        key_g, t_g = canonical_cache_key(g)
+        assert key_f == key_g  # same NPN class
+        # but the canonical-polarity functions each round-trip correctly
+        for table, transform in ((f, t_f), (g, t_g)):
+            gp = canonical_polarity_table(table, transform)
+            lattice = _synthesize(gp)
+            assert transform_lattice_from_canonical(
+                lattice, transform).implements(table)
+
+    def test_large_n_falls_back_to_identity_witness(self):
+        table = TruthTable.from_bits(6, (1 << 64) - 2)
+        canon, transform = canonical_cache_key(table)
+        assert transform.permutation == tuple(range(6))
+        assert transform.input_negation_mask == 0
+        assert not transform.output_negate
+        assert canonical_polarity_table(table, transform) == table
+
+    def test_exhaustive_n2(self):
+        """Every 2-variable function round-trips (16 functions, cheap)."""
+        for bits in range(16):
+            table = TruthTable.from_bits(2, bits)
+            _, transform = canonical_cache_key(table)
+            g = canonical_polarity_table(table, transform)
+            lattice = _synthesize(g)
+            assert transform_lattice_from_canonical(
+                lattice, transform).implements(table)
+
+
+class TestLatticeSerialisation:
+    def test_round_trip(self):
+        for table in _random_tables(15, seed=3):
+            lattice = _synthesize(table)
+            text = lattice_to_text(lattice)
+            assert lattice_from_text(lattice.n, text) == lattice
+
+
+class TestResultCache:
+    def _entry(self, table: TruthTable) -> CachedResult:
+        lattice = _synthesize(table)
+        outcome = StrategyOutcome("dual", "ok", lattice.area, lattice.shape,
+                                  0.1, "")
+        return CachedResult("dual", lattice, (outcome,))
+
+    def test_put_get_memory(self):
+        table = TruthTable.from_bits(3, 0b10010110)
+        canon, _ = canonical_cache_key(table)
+        with ResultCache() as cache:
+            assert cache.get(3, canon, False, "cfg") is None
+            cache.put(3, canon, False, "cfg", self._entry(table))
+            got = cache.get(3, canon, False, "cfg")
+            assert got is not None
+            assert got.strategy == "dual"
+            assert got.lattice.implements(table)
+            assert got.outcomes[0].strategy == "dual"
+            assert len(cache) == 1
+
+    def test_config_isolation(self):
+        table = TruthTable.from_bits(3, 0b10010110)
+        canon, _ = canonical_cache_key(table)
+        with ResultCache() as cache:
+            cache.put(3, canon, False, "cfg-a", self._entry(table))
+            assert cache.get(3, canon, False, "cfg-b") is None
+
+    def test_polarity_slots_are_distinct(self):
+        """A class stores up to two lattices: one per witness polarity."""
+        f = TruthTable.from_bits(2, 0b1000)  # AND2
+        g = ~f                                # NAND2: same NPN class
+        key_f, t_f = canonical_cache_key(f)
+        key_g, t_g = canonical_cache_key(g)
+        assert key_f == key_g
+        assert t_f.output_negate != t_g.output_negate
+        with ResultCache() as cache:
+            cache.put(2, key_f, t_f.output_negate, "cfg", self._entry(f))
+            assert cache.get(2, key_g, t_g.output_negate, "cfg") is None
+            cache.put(2, key_g, t_g.output_negate, "cfg", self._entry(g))
+            assert len(cache) == 2
+            got = cache.get(2, key_f, t_f.output_negate, "cfg")
+            assert got is not None and got.lattice.implements(f)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        table = TruthTable.from_bits(4, 0x6996)
+        canon, _ = canonical_cache_key(table)
+        with ResultCache(path) as cache:
+            cache.put(4, canon, False, "cfg", self._entry(table))
+        with ResultCache(path) as cache:
+            got = cache.get(4, canon, False, "cfg")
+            assert got is not None
+            assert got.lattice.implements(table)
+
+    def test_clear(self):
+        table = TruthTable.from_bits(2, 0b0110)
+        canon, _ = canonical_cache_key(table)
+        with ResultCache() as cache:
+            cache.put(2, canon, False, "cfg", self._entry(table))
+            cache.clear()
+            assert len(cache) == 0
+
+
+def test_cache_key_width_is_stable():
+    """Keys are fixed-width hex so ranges of n never collide textually."""
+    canon1, _ = canonical_cache_key(TruthTable.from_bits(1, 0b01))
+    canon4, _ = canonical_cache_key(TruthTable.from_bits(4, 1))
+    assert len(canon1) == 1
+    assert len(canon4) == 4
+
+
+def test_npn_canonical_matches_module_for_small_n():
+    table = TruthTable.from_bits(4, 0x1234)
+    canon_text, transform = canonical_cache_key(table)
+    canonical, expected = npn_canonical(table)
+    assert transform == expected
+    assert canon_text == f"{canonical.bits:04x}"
+
+
+@pytest.mark.parametrize("bits", [0, 0xFF])
+def test_constant_tables_round_trip(bits):
+    table = TruthTable.from_bits(3, bits)
+    _, transform = canonical_cache_key(table)
+    g = canonical_polarity_table(table, transform)
+    lattice = _synthesize(g)
+    assert transform_lattice_from_canonical(lattice, transform).implements(table)
