@@ -1,0 +1,133 @@
+"""Faultlab throughput: scalar vs vectorized, serial vs pooled.
+
+Quantifies the tentpole claims of the campaign engine:
+
+* the vectorized clean-subarray kernel must beat the scalar
+  ``repro.reliability`` loop by >= 10x on a 1000-trial, N=32 yield sweep
+  (generation + extraction, like-for-like);
+* pooled campaign runs must return bit-identical estimates to serial ones
+  (the speedup is reported, not asserted — timing noise must not fail the
+  bench).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+from repro.faultlab import (
+    CampaignSpec,
+    bernoulli_defect_batch,
+    recovered_k_batch,
+    run_campaign,
+)
+from repro.reliability import greedy_clean_subarray, random_defect_map
+
+N = 32
+TRIALS = 1000
+DENSITY = 0.05
+
+
+def _scalar_sweep(trials: int) -> list[int]:
+    rng = random.Random(1)
+    return [
+        greedy_clean_subarray(random_defect_map(N, N, DENSITY, rng)).k
+        for _ in range(trials)
+    ]
+
+
+def _vectorized_sweep(trials: int) -> np.ndarray:
+    gen = np.random.default_rng(1)
+    batch = bernoulli_defect_batch(trials, N, N, DENSITY, gen)
+    return recovered_k_batch(batch.defective())
+
+
+def test_faultlab_scalar_vs_vectorized(benchmark, save_table):
+    """The acceptance ratio: vectorized kernels >= 10x the scalar loop."""
+    # Warm both paths once so neither pays first-call setup in the timing.
+    _scalar_sweep(16)
+    _vectorized_sweep(16)
+
+    start = time.perf_counter()
+    scalar_ks = _scalar_sweep(TRIALS)
+    scalar_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vector_ks = benchmark.pedantic(
+        lambda: _vectorized_sweep(TRIALS), rounds=1, iterations=1)
+    vector_elapsed = time.perf_counter() - start
+
+    speedup = scalar_elapsed / vector_elapsed
+    save_table("faultlab_scalar_vs_vectorized", "\n".join([
+        f"clean-subarray yield sweep, N={N}, density={DENSITY}, "
+        f"trials={TRIALS}",
+        f"scalar     {scalar_elapsed:8.3f}s  "
+        f"({TRIALS / scalar_elapsed:8.0f} trials/s)",
+        f"vectorized {vector_elapsed:8.3f}s  "
+        f"({TRIALS / vector_elapsed:8.0f} trials/s)",
+        f"speedup    {speedup:8.1f}x",
+    ]))
+    # Both estimators sample the same distribution: means must agree.
+    assert abs(sum(scalar_ks) / TRIALS - float(vector_ks.mean())) < 1.0
+    assert speedup >= 10.0
+
+
+def test_faultlab_serial_vs_pooled(benchmark, save_table):
+    """Campaign-runner throughput across pool sizes, bit-identical results."""
+    spec = CampaignSpec(
+        n_values=(24,), k_values=(12, 18, 24),
+        densities=(0.01, 0.05, 0.1, 0.2),
+        trials=400, batch_size=50,
+    )
+
+    def run(processes: int):
+        start = time.perf_counter()
+        result = run_campaign(spec, processes=processes)
+        return time.perf_counter() - start, result
+
+    serial_elapsed, serial_result = benchmark.pedantic(
+        lambda: run(1), rounds=1, iterations=1)
+    pooled_elapsed, pooled_result = run(2)
+
+    assert [e.k_histogram for e in serial_result.estimates] == \
+           [e.k_histogram for e in pooled_result.estimates]
+    save_table("faultlab_serial_vs_pooled", "\n".join([
+        f"campaign: {len(serial_result.estimates)} points x "
+        f"{spec.trials} trials, N=24",
+        f"serial   {serial_elapsed:8.3f}s  "
+        f"({serial_result.trials_sampled / serial_elapsed:8.0f} trials/s)",
+        f"pooled-2 {pooled_elapsed:8.3f}s  "
+        f"({pooled_result.trials_sampled / pooled_elapsed:8.0f} trials/s)",
+        "results bit-identical: yes",
+    ]))
+
+
+def test_faultlab_warm_store(benchmark, save_table, tmp_path):
+    """Second run against the persisted store is pure cache rewrites."""
+    spec = CampaignSpec(
+        n_values=(16,), k_values=(8, 12, 16),
+        densities=(0.02, 0.1), trials=300, batch_size=100,
+    )
+    store = str(tmp_path / "campaigns.sqlite")
+
+    start = time.perf_counter()
+    cold = run_campaign(spec, store=store)
+    cold_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: run_campaign(spec, store=store), rounds=1, iterations=1)
+    warm_elapsed = time.perf_counter() - start
+
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == len(warm.estimates)
+    assert [e.k_histogram for e in cold.estimates] == \
+           [e.k_histogram for e in warm.estimates]
+    save_table("faultlab_warm_store", "\n".join([
+        f"campaign store: {len(cold.estimates)} points x {spec.trials} "
+        "trials",
+        f"cold {cold_elapsed:8.3f}s   warm {warm_elapsed:8.3f}s   "
+        f"speedup {cold_elapsed / max(warm_elapsed, 1e-9):6.1f}x",
+    ]))

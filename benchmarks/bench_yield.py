@@ -2,12 +2,16 @@
 
 Regenerates the Monte-Carlo vs analytic yield table and checks the
 defect-tolerance story: accepting k < N turns a collapsing full-array yield
-into a high recovered yield.
+into a high recovered yield.  The Monte-Carlo sweep itself runs through the
+:mod:`repro.faultlab` campaign engine (vectorized batches, Wilson CIs,
+analytic cross-checks) — the scalar ``monte_carlo_yield`` estimator stays
+as the cross-validation baseline.
 """
 
 import random
 
 from repro.eval.experiments import get_experiment
+from repro.faultlab import CampaignSpec, analytic_crosschecks, run_campaign
 from repro.reliability import monte_carlo_yield
 
 
@@ -30,6 +34,32 @@ def test_yield_table(benchmark, save_table):
         bucket.sort(key=lambda r: r["k"])
         yields = [r["monte_carlo_yield"] for r in bucket]
         assert all(a >= b - 1e-9 for a, b in zip(yields, yields[1:]))
+
+
+def test_yield_campaign_sweep(benchmark, save_table):
+    """The Section IV yield sweep, batched through the campaign runner."""
+    spec = CampaignSpec(
+        n_values=(12,), k_values=(6, 9, 12),
+        densities=(0.01, 0.05, 0.1, 0.2),
+        trials=500, seed=42, batch_size=125,
+    )
+    result = benchmark.pedantic(
+        lambda: run_campaign(spec), rounds=1, iterations=1)
+    save_table("yield_campaign", result.render())
+    # Every Bernoulli row must respect the analytic Markov/exact bounds.
+    assert all(c["within_markov"] and c["matches_exact"]
+               for c in analytic_crosschecks(result))
+    # Same monotonicity story as the scalar table: smaller k, higher yield.
+    for est in result.estimates:
+        yields = [est.yield_rate(k) for k in sorted(spec.k_values)]
+        assert all(a >= b - 1e-9 for a, b in zip(yields, yields[1:]))
+    # Campaign vs scalar estimator on one shared point (k=9, d=0.05): the
+    # two independent samplers must land within joint Monte-Carlo noise.
+    scalar = monte_carlo_yield(12, 9, 0.05, 400, random.Random(5))
+    campaign_rate = result.estimates[
+        [e.point.density for e in result.estimates].index(0.05)
+    ].yield_rate(9)
+    assert abs(scalar.yield_rate - campaign_rate) < 0.15
 
 
 def test_yield_monte_carlo_speed(benchmark):

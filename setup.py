@@ -17,7 +17,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
+    # numpy is a hard runtime dependency: repro.reliability.variation and
+    # the repro.faultlab campaign engine are built on it.
     install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
     entry_points={
         "console_scripts": [
             "nanoxbar = repro.eval.cli:main",

@@ -14,6 +14,8 @@ Sub-packages:
 * :mod:`repro.arch`        — arithmetic / memory / SSM extensions (Section V)
 * :mod:`repro.eval`        — benchmark suite + experiment registry + CLI
 * :mod:`repro.engine`      — parallel batch-synthesis engine
+* :mod:`repro.faultlab`    — vectorized Monte-Carlo fault-tolerance
+  campaigns (Section IV at ensemble scale, ``nanoxbar faultsim``)
 
 Quickstart::
 

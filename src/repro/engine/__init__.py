@@ -9,6 +9,8 @@ them into a batch service:
   P-circuit / SAT-optimal) under deterministic effort budgets
 * :mod:`repro.engine.pool`      — sharded multiprocessing map with serial
   fallback
+* :mod:`repro.engine.store`     — generic persisted JSON store for other
+  job families (e.g. :mod:`repro.faultlab` campaigns)
 * :mod:`repro.engine.engine`    — the ``BatchEngine`` facade
 
 Quickstart::
@@ -43,6 +45,7 @@ from .jobs import (
     SynthesisJob,
 )
 from .pool import chunk_size, default_processes, map_sharded
+from .store import JsonStore
 from .portfolio import (
     PortfolioConfig,
     PortfolioResult,
@@ -58,6 +61,7 @@ __all__ = [
     "FaultToleranceReport",
     "FaultToleranceSpec",
     "JobResult",
+    "JsonStore",
     "PortfolioConfig",
     "PortfolioResult",
     "ResultCache",

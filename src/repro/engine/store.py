@@ -1,0 +1,88 @@
+"""Generic persisted JSON store for non-synthesis job families.
+
+The synthesis path keys lattices by NPN-canonical form
+(:mod:`repro.engine.cache`); other batched workloads — first among them the
+Monte-Carlo fault-tolerance campaigns of :mod:`repro.faultlab` — need the
+same durability with free-form keys and JSON payloads.  :class:`JsonStore`
+gives them one table with the cache layer's conventions:
+
+* SQLite-backed, ``":memory:"`` for an ephemeral per-process store;
+* writes batched into single transactions (``put_many``);
+* unparseable rows read as misses, so corruption costs recompute time,
+  never correctness.
+
+Both stores can share one SQLite file: they own distinct tables, so a
+single ``results.sqlite`` can hold the synthesis cache *and* every
+campaign estimate.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from typing import Any
+
+
+class JsonStore:
+    """SQLite-backed ``key -> JSON payload`` map with batched writes."""
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS json_store (
+        key     TEXT NOT NULL PRIMARY KEY,
+        payload TEXT NOT NULL,
+        created REAL NOT NULL
+    )
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(self._SCHEMA)
+        self._conn.commit()
+
+    # -- mapping interface ------------------------------------------------
+    def get(self, key: str) -> Any | None:
+        row = self._conn.execute(
+            "SELECT payload FROM json_store WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except (TypeError, json.JSONDecodeError):
+            # An unparseable row reads as a miss; the caller recomputes and
+            # overwrites it.
+            return None
+
+    def put(self, key: str, payload: Any) -> None:
+        self.put_many([(key, payload)])
+
+    def put_many(self, entries: list[tuple[str, Any]]) -> None:
+        """Persist a batch of entries in a single transaction/fsync."""
+        now = time.time()
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO json_store (key, payload, created)"
+            " VALUES (?, ?, ?)",
+            [(key, json.dumps(payload, sort_keys=True), now)
+             for key, payload in entries],
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM json_store").fetchone()
+        return int(count)
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM json_store")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JsonStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

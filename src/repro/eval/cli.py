@@ -175,6 +175,48 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    from ..faultlab import CampaignSpec, run_campaign
+
+    if args.k:
+        k_values = tuple(args.k)
+    else:
+        # Default thresholds off the largest swept N (the Fig. 6 regime:
+        # half, three-quarter and full recovery).
+        n_max = max(args.n)
+        k_values = tuple(sorted({max(1, n_max // 2),
+                                 max(1, 3 * n_max // 4), n_max}))
+    try:
+        spec = CampaignSpec(
+            n_values=tuple(args.n),
+            k_values=k_values,
+            densities=tuple(args.densities),
+            models=tuple(args.models),
+            strategies=tuple(args.strategies),
+            trials=args.trials,
+            seed=args.seed,
+            stuck_open_fraction=args.stuck_open_fraction,
+            batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    from ..engine import default_processes
+
+    store = None if args.no_cache else args.cache
+    processes = (default_processes() if args.processes == 0
+                 else args.processes)
+    try:
+        result = run_campaign(spec, store=store, processes=processes)
+    except sqlite3.DatabaseError as error:
+        print(f"error: cannot use campaign store {store!r}: {error}",
+              file=sys.stderr)
+        print(f"hint: delete {store!r} and rerun", file=sys.stderr)
+        return 1
+    print(result.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nanoxbar",
@@ -229,6 +271,40 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=0,
                        help="seed for the fault-tolerance post-processing")
     batch.set_defaults(fn=_cmd_batch)
+
+    faultsim = sub.add_parser(
+        "faultsim",
+        help="run a Monte-Carlo fault-tolerance campaign (yield / clean-k "
+             "recovery sweeps) through the faultlab engine")
+    faultsim.add_argument("--n", type=int, nargs="+", default=[16],
+                          help="crossbar sizes N to sweep")
+    faultsim.add_argument("--k", type=int, nargs="+", default=None,
+                          help="clean-square thresholds (default: N/2, "
+                               "3N/4, N of the largest size)")
+    faultsim.add_argument("--densities", type=float, nargs="+",
+                          default=[0.01, 0.05, 0.1],
+                          help="defect densities to sweep")
+    faultsim.add_argument("--models", nargs="+", default=["bernoulli"],
+                          choices=["bernoulli", "clustered"],
+                          help="defect models to sweep")
+    faultsim.add_argument("--strategies", nargs="+", default=["greedy"],
+                          choices=["greedy", "exact"],
+                          help="clean-subarray extraction strategies")
+    faultsim.add_argument("--trials", type=int, default=1000,
+                          help="Monte-Carlo trials per grid point")
+    faultsim.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (bit-reproducible)")
+    faultsim.add_argument("--stuck-open-fraction", type=float, default=0.8,
+                          help="share of defects that are stuck-open")
+    faultsim.add_argument("--batch-size", type=int, default=256,
+                          help="trials per sharded worker batch")
+    faultsim.add_argument("--processes", type=int, default=1,
+                          help="worker processes (0 = auto)")
+    faultsim.add_argument("--cache", default=".nanoxbar-campaigns.sqlite",
+                          help="persistent campaign-store path")
+    faultsim.add_argument("--no-cache", action="store_true",
+                          help="skip campaign persistence")
+    faultsim.set_defaults(fn=_cmd_faultsim)
     return parser
 
 

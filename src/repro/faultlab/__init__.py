@@ -1,0 +1,103 @@
+"""Vectorized Monte-Carlo fault-tolerance campaigns (Section IV at scale).
+
+:mod:`repro.reliability` models one chip at a time with per-crosspoint
+dicts and scalar RNG loops; this package turns the paper's Section IV
+experiments into *campaigns* — declarative sweeps over crossbar size,
+defect density, defect model and extraction strategy, evaluated as NumPy
+kernels over whole trial ensembles and sharded across the
+:mod:`repro.engine` worker pool with estimates persisted in the engine's
+JSON store.
+
+API -> paper map:
+
+* :mod:`repro.faultlab.maps` — batched defect-map ensembles and their
+  Bernoulli / clustered generators (Section IV defect regimes; the local
+  density variation motivating hybrid BISM and Fig. 6's per-chip flow);
+* :mod:`repro.faultlab.kernels` — vectorized clean-subarray extraction
+  (Fig. 6 / Section IV-C), clean-``k`` feasibility (manufacturing yield),
+  and defect-aware placement checks (Section IV-B self-mapping), each
+  validated against its scalar :mod:`repro.reliability` reference;
+* :mod:`repro.faultlab.campaign` — ``CampaignSpec`` grids, the sharded
+  runner and persisted ``PointEstimate`` histograms (Fig. 6b recovery
+  curves and the Section IV yield story, at ensemble scale);
+* :mod:`repro.faultlab.report` — yield curves with Wilson intervals and
+  cross-checks against the analytic
+  :mod:`repro.reliability.yield_model` bounds.
+
+Quickstart::
+
+    from repro.faultlab import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(n_values=(32,), k_values=(24, 28, 32),
+                        densities=(0.01, 0.05, 0.1), trials=1000)
+    result = run_campaign(spec, store="campaigns.sqlite", processes=4)
+    print(result.render())
+
+The same sweep is available from the shell as ``nanoxbar faultsim``.
+"""
+
+from .campaign import (
+    MAX_EXACT_N,
+    MODELS,
+    STRATEGIES,
+    CampaignPoint,
+    CampaignResult,
+    CampaignSpec,
+    PointEstimate,
+    run_campaign,
+)
+from .kernels import (
+    SITE_CONST0,
+    SITE_CONST1,
+    SITE_LITERAL,
+    clean_feasibility_batch,
+    greedy_clean_subarray_batch,
+    map_lattice_random_batch,
+    placement_valid_batch,
+    recovered_k_batch,
+    recovered_k_exact_batch,
+    sample_line_subsets,
+    target_site_codes,
+)
+from .maps import (
+    OK,
+    STUCK_CLOSED,
+    STUCK_OPEN,
+    DefectBatch,
+    bernoulli_defect_batch,
+    clustered_defect_batch,
+    spawn_streams,
+)
+from .report import analytic_crosschecks, render_campaign, wilson_interval
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "DefectBatch",
+    "MAX_EXACT_N",
+    "MODELS",
+    "OK",
+    "PointEstimate",
+    "SITE_CONST0",
+    "SITE_CONST1",
+    "SITE_LITERAL",
+    "STRATEGIES",
+    "STUCK_CLOSED",
+    "STUCK_OPEN",
+    "analytic_crosschecks",
+    "bernoulli_defect_batch",
+    "clean_feasibility_batch",
+    "clustered_defect_batch",
+    "greedy_clean_subarray_batch",
+    "map_lattice_random_batch",
+    "placement_valid_batch",
+    "recovered_k_batch",
+    "recovered_k_exact_batch",
+    "render_campaign",
+    "run_campaign",
+    "sample_line_subsets",
+    "spawn_streams",
+    "target_site_codes",
+    "wilson_interval",
+]

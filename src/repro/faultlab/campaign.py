@@ -1,0 +1,379 @@
+"""Declarative Monte-Carlo fault-tolerance campaigns (Section IV, Figs. 5-6).
+
+A *campaign* sweeps the paper's Section IV questions — "how large a clean
+``k x k`` does an ``N x N`` crossbar recover, and with what probability?"
+(Fig. 6 recovery, manufacturing yield) — over a grid of crossbar sizes,
+defect densities, defect models and extraction strategies, with thousands
+of sampled chips per grid point:
+
+* :class:`CampaignSpec` — the declarative grid (``N``, ``k``, density,
+  model, strategy, trial count, seed);
+* :class:`CampaignPoint` — one sampled ensemble (every ``k`` threshold is
+  answered from the same ensemble's recovered-``k`` histogram);
+* :func:`run_campaign` — expands the grid, shards trial batches through
+  :func:`repro.engine.pool.map_sharded`, aggregates per-point histograms
+  and persists them in the engine's :class:`~repro.engine.store.JsonStore`
+  keyed by ``(model, N, density, strategy, trials, seed, ...)``.
+
+Determinism: each point's RNG root is a ``SeedSequence`` over the campaign
+seed plus a *content* hash of the point (never its grid position), and
+batch streams are spawned from that root — so a seeded campaign is
+bit-reproducible between serial and pooled execution, across grid
+reorderings, and across cache hits/misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..engine.pool import map_sharded
+from ..engine.store import JsonStore
+from .kernels import recovered_k_batch, recovered_k_exact_batch
+from .maps import bernoulli_defect_batch, clustered_defect_batch
+
+#: Supported defect models and clean-subarray extraction strategies.
+MODELS = ("bernoulli", "clustered")
+STRATEGIES = ("greedy", "exact")
+
+#: Largest N the "exact" strategy accepts (the scalar branch-and-bound's
+#: documented validation regime; see ``max_clean_square_exact``).
+MAX_EXACT_N = 14
+
+#: Bump when the sampling semantics change (invalidates persisted points).
+_STORE_VERSION = "v1"
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One sampled ensemble: a (model, N, density, strategy) grid point."""
+
+    model: str
+    n: int
+    density: float
+    strategy: str
+    trials: int
+    seed: int
+    stuck_open_fraction: float
+    batch_size: int
+
+    def key(self) -> str:
+        """Persistent-store key (content-addressed, position-free).
+
+        ``batch_size`` is part of the key because the spawned batch
+        streams — and therefore the sampled ensemble — depend on the batch
+        layout; two layouts are two (equally valid) estimates.
+        """
+        return (f"faultlab/{_STORE_VERSION}/{self.model}/n{self.n}"
+                f"/d{self.density!r}/{self.strategy}/t{self.trials}"
+                f"/s{self.seed}/sof{self.stuck_open_fraction!r}"
+                f"/b{self.batch_size}")
+
+    def sampling_key(self) -> str:
+        """The part of the key that determines the sampled ensemble.
+
+        The extraction strategy is an *analysis* choice, not a sampling
+        one — greedy and exact runs of the same point therefore see
+        identical defect maps and are comparable trial-by-trial.
+        """
+        return (f"faultlab/{_STORE_VERSION}/{self.model}/n{self.n}"
+                f"/d{self.density!r}/t{self.trials}/s{self.seed}"
+                f"/sof{self.stuck_open_fraction!r}/b{self.batch_size}")
+
+    def entropy(self) -> tuple[int, int]:
+        """``SeedSequence`` entropy derived from content, not position."""
+        digest = hashlib.sha256(self.sampling_key().encode()).digest()
+        return (self.seed, int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative sweep grid for one campaign run."""
+
+    n_values: tuple[int, ...]
+    k_values: tuple[int, ...]
+    densities: tuple[float, ...]
+    models: tuple[str, ...] = ("bernoulli",)
+    strategies: tuple[str, ...] = ("greedy",)
+    trials: int = 1000
+    seed: int = 0
+    stuck_open_fraction: float = 0.8
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("n_values", "k_values", "densities", "models",
+                     "strategies"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if not self.n_values or not self.k_values or not self.densities:
+            raise ValueError("campaign grid needs at least one N, k and "
+                             "density")
+        if any(n < 1 for n in self.n_values):
+            raise ValueError("crossbar sizes must be positive")
+        if any(k < 0 for k in self.k_values):
+            raise ValueError("k thresholds must be non-negative")
+        if any(not 0.0 <= d <= 1.0 for d in self.densities):
+            raise ValueError("densities must be in [0, 1]")
+        for model in self.models:
+            if model not in MODELS:
+                raise ValueError(f"unknown defect model {model!r}")
+        for strategy in self.strategies:
+            if strategy not in STRATEGIES:
+                raise ValueError(f"unknown strategy {strategy!r}")
+        if "exact" in self.strategies and max(self.n_values) > MAX_EXACT_N:
+            # Beyond this the branch-and-bound extractor both explodes in
+            # time and can silently fall back to a sub-optimal k when its
+            # node budget trips — which would be persisted as "exact".
+            raise ValueError(
+                f"the 'exact' strategy is limited to N <= {MAX_EXACT_N} "
+                "(the branch-and-bound validation regime); use 'greedy' "
+                "for larger crossbars")
+        if self.trials < 1:
+            raise ValueError("trials must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not 0.0 <= self.stuck_open_fraction <= 1.0:
+            raise ValueError("stuck_open_fraction must be in [0, 1]")
+
+    def points(self) -> list[CampaignPoint]:
+        """Grid expansion; ``k`` is not sampled (thresholds share samples)."""
+        return [
+            CampaignPoint(model, n, density, strategy, self.trials,
+                          self.seed, self.stuck_open_fraction,
+                          self.batch_size)
+            for model, n, density, strategy in product(
+                self.models, self.n_values, self.densities, self.strategies)
+        ]
+
+
+@dataclass(frozen=True)
+class PointEstimate:
+    """Aggregated Monte-Carlo answer for one campaign point."""
+
+    point: CampaignPoint
+    #: ``k_histogram[k]`` = number of trials whose recovered clean square
+    #: side was exactly ``k`` (length ``n + 1``).
+    k_histogram: tuple[int, ...]
+    cache_hit: bool
+
+    @property
+    def trials(self) -> int:
+        return sum(self.k_histogram)
+
+    def successes(self, k: int) -> int:
+        """Trials that recovered a clean square of side >= ``k``."""
+        if k <= 0:
+            return self.trials
+        return sum(self.k_histogram[k:])
+
+    def yield_rate(self, k: int) -> float:
+        return self.successes(k) / self.trials if self.trials else 0.0
+
+    @property
+    def mean_k(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(k * count for k, count in enumerate(self.k_histogram)) \
+            / self.trials
+
+    @property
+    def min_k(self) -> int:
+        for k, count in enumerate(self.k_histogram):
+            if count:
+                return k
+        return 0
+
+    @property
+    def max_k(self) -> int:
+        for k in range(len(self.k_histogram) - 1, -1, -1):
+            if self.k_histogram[k]:
+                return k
+        return 0
+
+
+@dataclass
+class CampaignResult:
+    """Everything one ``run_campaign`` call produced."""
+
+    spec: CampaignSpec
+    estimates: list[PointEstimate]
+    elapsed: float = 0.0
+    cache_hits: int = 0
+    trials_sampled: int = 0
+
+    def estimate(self, point: CampaignPoint) -> PointEstimate:
+        for est in self.estimates:
+            if est.point == point:
+                return est
+        raise KeyError(f"no estimate for {point}")
+
+    def rows(self) -> list[dict]:
+        """Yield-curve rows, one per (point, k) pair, with Wilson CIs."""
+        from .report import wilson_interval
+
+        rows = []
+        for est in self.estimates:
+            point = est.point
+            for k in self.spec.k_values:
+                successes = est.successes(k) if k <= point.n else 0
+                low, high = wilson_interval(successes, est.trials)
+                rows.append({
+                    "model": point.model,
+                    "N": point.n,
+                    "k": k,
+                    "density": point.density,
+                    "strategy": point.strategy,
+                    "trials": est.trials,
+                    "successes": successes,
+                    "yield": successes / est.trials if est.trials else 0.0,
+                    "wilson_low": low,
+                    "wilson_high": high,
+                })
+        return rows
+
+    def recovery_rows(self) -> list[dict]:
+        """Fig. 6b-style recovered-``k`` degradation rows, one per point."""
+        return [{
+            "model": est.point.model,
+            "N": est.point.n,
+            "density": est.point.density,
+            "strategy": est.point.strategy,
+            "trials": est.trials,
+            "avg_k": est.mean_k,
+            "k_over_n": est.mean_k / est.point.n,
+            "min_k": est.min_k,
+            "max_k": est.max_k,
+        } for est in self.estimates]
+
+    @property
+    def throughput(self) -> float:
+        """Freshly sampled trials per second (cache hits excluded)."""
+        return self.trials_sampled / self.elapsed if self.elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        from .report import render_campaign
+
+        return render_campaign(self)
+
+
+# ----------------------------------------------------------------------
+# The sharded runner
+# ----------------------------------------------------------------------
+def _point_batch_task(task: tuple) -> tuple[int, ...]:
+    """Worker body: sample one trial batch, return its recovered-k histogram.
+
+    Module-level and pure (a function of the task tuple alone) so it
+    pickles across the process pool and keeps serial == pooled bit-exact.
+    """
+    model, n, density, strategy, stuck_open_fraction, batch_trials, seed_seq \
+        = task
+    gen = np.random.default_rng(seed_seq)
+    if model == "bernoulli":
+        batch = bernoulli_defect_batch(batch_trials, n, n, density, gen,
+                                       stuck_open_fraction)
+    else:
+        batch = clustered_defect_batch(
+            batch_trials, n, n, density, gen,
+            stuck_open_fraction=stuck_open_fraction)
+    if strategy == "greedy":
+        ks = recovered_k_batch(batch.defective())
+    else:
+        ks = recovered_k_exact_batch(batch)
+    return tuple(int(x) for x in np.bincount(ks, minlength=n + 1))
+
+
+def _batch_sizes(trials: int, batch_size: int) -> list[int]:
+    sizes = [batch_size] * (trials // batch_size)
+    if trials % batch_size:
+        sizes.append(trials % batch_size)
+    return sizes
+
+
+def _valid_payload(payload, point: CampaignPoint) -> bool:
+    if not isinstance(payload, dict):
+        return False
+    histogram = payload.get("k_histogram")
+    return (isinstance(histogram, list)
+            and len(histogram) == point.n + 1
+            and all(isinstance(c, int) and c >= 0 for c in histogram)
+            and sum(histogram) == point.trials)
+
+
+def run_campaign(spec: CampaignSpec,
+                 store: JsonStore | str | None = None,
+                 processes: int = 1) -> CampaignResult:
+    """Run a campaign: probe the store, shard the misses, persist, report.
+
+    Args:
+        store: a :class:`~repro.engine.store.JsonStore`, a path to open one
+            at (closed again before returning), or ``None`` for no
+            persistence.
+        processes: worker count for :func:`repro.engine.pool.map_sharded`
+            (``1`` = serial; results are bit-identical either way).
+    """
+    owned = isinstance(store, str)
+    json_store: JsonStore | None = JsonStore(store) if owned else store
+    try:
+        return _run_campaign(spec, json_store, processes)
+    finally:
+        if owned and json_store is not None:
+            json_store.close()
+
+
+def _run_campaign(spec: CampaignSpec, store: JsonStore | None,
+                  processes: int) -> CampaignResult:
+    start = time.perf_counter()
+    points = spec.points()
+    cached: dict[int, PointEstimate] = {}
+    tasks: list[tuple] = []
+    task_owner: list[int] = []
+    for index, point in enumerate(points):
+        payload = store.get(point.key()) if store is not None else None
+        if payload is not None and _valid_payload(payload, point):
+            cached[index] = PointEstimate(
+                point, tuple(payload["k_histogram"]), cache_hit=True)
+            continue
+        root = np.random.SeedSequence(point.entropy())
+        sizes = _batch_sizes(point.trials, point.batch_size)
+        for child, batch_trials in zip(root.spawn(len(sizes)), sizes):
+            tasks.append((point.model, point.n, point.density,
+                          point.strategy, point.stuck_open_fraction,
+                          batch_trials, child))
+            task_owner.append(index)
+
+    histograms = map_sharded(_point_batch_task, tasks, processes)
+    fresh: dict[int, np.ndarray] = {}
+    for index, histogram in zip(task_owner, histograms):
+        accumulator = fresh.get(index)
+        if accumulator is None:
+            fresh[index] = np.array(histogram, dtype=np.int64)
+        else:
+            accumulator += np.array(histogram, dtype=np.int64)
+
+    estimates: list[PointEstimate] = []
+    new_entries: list[tuple[str, dict]] = []
+    trials_sampled = 0
+    for index, point in enumerate(points):
+        if index in cached:
+            estimates.append(cached[index])
+            continue
+        histogram = tuple(int(x) for x in fresh[index])
+        estimates.append(PointEstimate(point, histogram, cache_hit=False))
+        trials_sampled += point.trials
+        new_entries.append((point.key(), {
+            "k_histogram": list(histogram),
+            "trials": point.trials,
+        }))
+    if store is not None and new_entries:
+        store.put_many(new_entries)
+
+    return CampaignResult(
+        spec=spec,
+        estimates=estimates,
+        elapsed=time.perf_counter() - start,
+        cache_hits=len(cached),
+        trials_sampled=trials_sampled,
+    )

@@ -55,6 +55,11 @@ def greedy_clean_subarray(defect_map: DefectMap) -> CleanSubarray:
     remaining selection (ties: keep the selection square-ish) until no
     defects remain, then tries to re-add removed lines that happen to be
     clean w.r.t. the final selection.
+
+    Every tie-break is fully index-deterministic (equal defect counts pick
+    the lowest-numbered line); this is the contract that lets the batched
+    kernel in :mod:`repro.faultlab.kernels` reproduce the selection
+    bit-exactly with ``argmax`` semantics.
     """
     rows = set(range(defect_map.rows))
     cols = set(range(defect_map.cols))
@@ -65,8 +70,8 @@ def greedy_clean_subarray(defect_map: DefectMap) -> CleanSubarray:
         for r, c in live:
             row_counts[r] = row_counts.get(r, 0) + 1
             col_counts[c] = col_counts.get(c, 0) + 1
-        worst_row = max(row_counts, key=lambda r: row_counts[r])
-        worst_col = max(col_counts, key=lambda c: col_counts[c])
+        worst_row = max(row_counts, key=lambda r: (row_counts[r], -r))
+        worst_col = max(col_counts, key=lambda c: (col_counts[c], -c))
         # Prefer the line clearing more defects; tie-break toward keeping
         # the selection balanced.
         remove_row = (

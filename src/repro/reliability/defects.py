@@ -16,10 +16,15 @@ crossbar in Fig. 6's flow).
 
 from __future__ import annotations
 
+import hashlib
 import random
+import struct
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
+
+#: Wire-format magic/version for :meth:`DefectMap.to_bytes`.
+_WIRE_MAGIC = b"DM1\x00"
 
 
 class CrosspointState(Enum):
@@ -28,6 +33,12 @@ class CrosspointState(Enum):
     OK = "ok"
     STUCK_OPEN = "stuck_open"
     STUCK_CLOSED = "stuck_closed"
+
+
+#: Sparse numeric state codes, shared with :mod:`repro.faultlab.maps`
+#: (``0`` is reserved for OK and never serialised).
+STATE_TO_CODE = {CrosspointState.STUCK_OPEN: 1, CrosspointState.STUCK_CLOSED: 2}
+CODE_TO_STATE = {code: state for state, code in STATE_TO_CODE.items()}
 
 
 @dataclass(frozen=True)
@@ -107,6 +118,55 @@ class DefectMap:
         return not any(
             r in row_set and c in col_set for (r, c) in self.defects
         )
+
+    # ------------------------------------------------------------------
+    # Compact serialization (process boundaries, content-hash caching)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Compact, deterministic wire format.
+
+        Layout: ``b"DM1\\0"`` magic, ``<III`` rows/cols/defect-count header,
+        then one ``<IB`` record per defect — the flat crosspoint index
+        ``r * cols + c`` plus the sparse state code — sorted by index so
+        equal maps always serialise to equal bytes (content-hashable).
+        """
+        header = struct.pack("<4sIII", _WIRE_MAGIC, self.rows, self.cols,
+                             len(self.defects))
+        records = b"".join(
+            struct.pack("<IB", r * self.cols + c, STATE_TO_CODE[state])
+            for (r, c), state in sorted(self.defects.items())
+        )
+        return header + records
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DefectMap":
+        """Inverse of :meth:`to_bytes` (validates magic and payload size)."""
+        head_size = struct.calcsize("<4sIII")
+        if len(data) < head_size:
+            raise ValueError("defect-map payload shorter than its header")
+        magic, rows, cols, count = struct.unpack_from("<4sIII", data)
+        if magic != _WIRE_MAGIC:
+            raise ValueError(f"bad defect-map magic {magic!r}")
+        record = struct.calcsize("<IB")
+        if len(data) != head_size + count * record:
+            raise ValueError("defect-map payload size mismatch")
+        defects: dict[tuple[int, int], CrosspointState] = {}
+        for i in range(count):
+            index, code = struct.unpack_from("<IB", data,
+                                             head_size + i * record)
+            if code not in CODE_TO_STATE:
+                raise ValueError(f"unknown crosspoint state code {code}")
+            if cols == 0 or index >= rows * cols:
+                raise ValueError(f"defect index {index} outside {rows}x{cols}")
+            position = (index // cols, index % cols)
+            if position in defects:
+                raise ValueError(f"duplicate defect record for {position}")
+            defects[position] = CODE_TO_STATE[code]
+        return cls(rows, cols, defects)
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`to_bytes` (stable cache key)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
 
     def render(self) -> str:
         """ASCII map: ``.`` OK, ``o`` stuck-open, ``x`` stuck-closed."""

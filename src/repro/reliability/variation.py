@@ -53,14 +53,22 @@ class VariationMap:
 
 
 def lognormal_variation(rows: int, cols: int, sigma: float,
-                        rng: random.Random, nominal: float = 1.0) -> VariationMap:
-    """Sample a lognormal variation map: ``R = nominal * exp(N(0, sigma))``."""
+                        rng: random.Random | np.random.Generator,
+                        nominal: float = 1.0) -> VariationMap:
+    """Sample a lognormal variation map: ``R = nominal * exp(N(0, sigma))``.
+
+    The whole map is one vectorized ``numpy.random.Generator`` normal draw.
+    A :class:`random.Random` is still accepted for backward compatibility:
+    it seeds a dedicated ``Generator`` from its own stream, so repeated
+    calls with the same scalar RNG remain deterministic and distinct.
+    """
     if sigma < 0:
         raise ValueError("sigma must be non-negative")
-    values = np.array([
-        [nominal * np.exp(rng.gauss(0.0, sigma)) for _ in range(cols)]
-        for _ in range(rows)
-    ])
+    if isinstance(rng, np.random.Generator):
+        gen = rng
+    else:
+        gen = np.random.default_rng(rng.getrandbits(128))
+    values = nominal * np.exp(gen.normal(0.0, sigma, size=(rows, cols)))
     return VariationMap(values)
 
 

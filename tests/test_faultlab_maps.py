@@ -1,0 +1,188 @@
+"""Tests for faultlab's batched defect maps and generators."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faultlab import (
+    OK,
+    STUCK_CLOSED,
+    STUCK_OPEN,
+    DefectBatch,
+    bernoulli_defect_batch,
+    clustered_defect_batch,
+    spawn_streams,
+)
+from repro.reliability import (
+    CrosspointState,
+    clustered_defect_map,
+    perfect_map,
+    random_defect_map,
+)
+
+
+class TestDefectBatch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefectBatch(np.zeros((2, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            DefectBatch(np.zeros((2, 3, 3), dtype=np.int64))
+        bad = np.zeros((1, 2, 2), dtype=np.uint8)
+        bad[0, 0, 0] = 7
+        with pytest.raises(ValueError):
+            DefectBatch(bad)
+
+    def test_round_trip_through_scalar_maps(self):
+        rng = random.Random(3)
+        maps = [random_defect_map(5, 4, d, rng)
+                for d in (0.0, 0.1, 0.3, 0.8)]
+        batch = DefectBatch.from_defect_maps(maps)
+        assert (batch.trials, batch.rows, batch.cols) == (4, 5, 4)
+        for trial, original in enumerate(maps):
+            assert batch.to_defect_map(trial) == original
+        assert list(batch.iter_defect_maps()) == maps
+
+    def test_from_maps_rejects_mixed_shapes(self):
+        with pytest.raises(ValueError):
+            DefectBatch.from_defect_maps([perfect_map(3, 3),
+                                          perfect_map(3, 4)])
+        with pytest.raises(ValueError):
+            DefectBatch.from_defect_maps([])
+
+    def test_densities_match_scalar(self):
+        rng = random.Random(5)
+        maps = [random_defect_map(6, 6, 0.2, rng) for _ in range(8)]
+        batch = DefectBatch.from_defect_maps(maps)
+        assert np.allclose(batch.densities(),
+                           [m.density for m in maps])
+
+    def test_packed_bits_round_trip(self):
+        rng = random.Random(9)
+        batch = DefectBatch.from_defect_maps(
+            [random_defect_map(5, 7, 0.3, rng) for _ in range(3)])
+        packed = batch.packed_bits()
+        unpacked = np.unpackbits(packed, axis=1)[:, :5 * 7] \
+            .reshape(3, 5, 7).astype(bool)
+        assert (unpacked == batch.defective()).all()
+
+
+class TestSpawnStreams:
+    def test_deterministic_and_independent(self):
+        a = spawn_streams(42, 3)
+        b = spawn_streams(42, 3)
+        draws_a = [g.random(4).tolist() for g in a]
+        draws_b = [g.random(4).tolist() for g in b]
+        assert draws_a == draws_b
+        # distinct children produce distinct streams
+        assert draws_a[0] != draws_a[1] != draws_a[2]
+        assert spawn_streams(43, 1)[0].random(4).tolist() != draws_a[0]
+
+
+class TestBernoulliBatch:
+    def test_validation(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bernoulli_defect_batch(1, 2, 2, 1.5, gen)
+        with pytest.raises(ValueError):
+            bernoulli_defect_batch(1, 2, 2, 0.1, gen,
+                                   stuck_open_fraction=-0.1)
+
+    def test_extremes(self):
+        gen = np.random.default_rng(0)
+        assert (bernoulli_defect_batch(4, 5, 5, 0.0, gen).states == OK).all()
+        full = bernoulli_defect_batch(4, 5, 5, 1.0, gen,
+                                      stuck_open_fraction=1.0)
+        assert (full.states == STUCK_OPEN).all()
+        closed = bernoulli_defect_batch(4, 5, 5, 1.0, gen,
+                                        stuck_open_fraction=0.0)
+        assert (closed.states == STUCK_CLOSED).all()
+
+    def test_statistics_match_scalar_reference(self):
+        """Same parameters -> same defect rate and open/closed split as
+        the scalar ``random_defect_map`` ensemble (within MC noise)."""
+        trials, n, density, sof = 300, 16, 0.1, 0.8
+        gen = np.random.default_rng(7)
+        batch = bernoulli_defect_batch(trials, n, n, density, gen, sof)
+        rng = random.Random(7)
+        scalar = [random_defect_map(n, n, density, rng, sof)
+                  for _ in range(trials)]
+        vec_density = float(batch.densities().mean())
+        ref_density = sum(m.density for m in scalar) / trials
+        assert abs(vec_density - ref_density) < 0.01
+        vec_defects = batch.defective().sum()
+        vec_open = (batch.states == STUCK_OPEN).sum() / vec_defects
+        ref_counts = [
+            sum(1 for s in m.defects.values()
+                if s is CrosspointState.STUCK_OPEN)
+            for m in scalar
+        ]
+        ref_open = sum(ref_counts) / sum(m.num_defects for m in scalar)
+        assert abs(float(vec_open) - ref_open) < 0.03
+
+    def test_seeded_reproducibility(self):
+        a = bernoulli_defect_batch(5, 8, 8, 0.2, np.random.default_rng(11))
+        b = bernoulli_defect_batch(5, 8, 8, 0.2, np.random.default_rng(11))
+        assert (a.states == b.states).all()
+
+
+class TestClusteredBatch:
+    def test_statistics_match_scalar_reference(self):
+        trials, n, density = 250, 16, 0.1
+        gen = np.random.default_rng(13)
+        batch = clustered_defect_batch(trials, n, n, density, gen)
+        scalar = [clustered_defect_map(n, n, density, random.Random(i))
+                  for i in range(trials)]
+        vec_density = float(batch.densities().mean())
+        ref_density = sum(m.density for m in scalar) / trials
+        # Both lose the same mass to out-of-bounds / duplicate attempts.
+        assert abs(vec_density - ref_density) < 0.02
+        # Clustering: defects bunch, so per-map occupied-row spread is
+        # narrower than the Bernoulli equivalent.
+        bern = bernoulli_defect_batch(trials, n, n, density,
+                                      np.random.default_rng(13))
+        clustered_rows = (batch.defective().any(axis=2).sum(axis=1)).mean()
+        bern_rows = (bern.defective().any(axis=2).sum(axis=1)).mean()
+        assert clustered_rows < bern_rows
+
+    def test_budget_respected(self):
+        trials, n, density = 50, 12, 0.2
+        batch = clustered_defect_batch(trials, n, n, density,
+                                       np.random.default_rng(3))
+        budget = round(density * n * n)
+        per_trial = batch.defective().sum(axis=(1, 2))
+        assert (per_trial <= budget).all()
+
+    def test_zero_density(self):
+        batch = clustered_defect_batch(4, 8, 8, 0.0,
+                                       np.random.default_rng(0))
+        assert (batch.states == OK).all()
+
+    def test_small_budget_regime_matches_scalar(self):
+        """budget=1 (N=8, d=0.02): the attempt cap must not starve the
+        batch of the retry attempts the scalar generator gets."""
+        trials, n, density = 4000, 8, 0.02
+        vec = clustered_defect_batch(trials, n, n, density,
+                                     np.random.default_rng(1))
+        ref = np.mean([clustered_defect_map(n, n, density,
+                                            random.Random(i)).density
+                       for i in range(trials)])
+        assert abs(float(vec.densities().mean()) - ref) < 0.15 * ref + 1e-4
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    trials=st.integers(min_value=1, max_value=5),
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_batch_state_codes_round_trip(trials, rows, cols, density,
+                                               seed):
+    """Any generated batch survives the scalar-map round trip unchanged."""
+    gen = np.random.default_rng(seed)
+    batch = bernoulli_defect_batch(trials, rows, cols, density, gen)
+    rebuilt = DefectBatch.from_defect_maps(list(batch.iter_defect_maps()))
+    assert (rebuilt.states == batch.states).all()

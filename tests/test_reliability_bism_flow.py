@@ -200,6 +200,35 @@ class TestVariation:
         vm = lognormal_variation(3, 3, 0.0, random.Random(0), nominal=2.0)
         assert np.allclose(vm.resistance, 2.0)
 
+    def test_lognormal_vectorized_distribution_equivalence(self):
+        """The vectorized Generator draw samples the same lognormal the
+        old per-crosspoint ``rng.gauss`` loop did."""
+        sigma, nominal = 0.5, 2.0
+        vm = lognormal_variation(200, 200, sigma, random.Random(7),
+                                 nominal=nominal)
+        # Reference: the scalar formulation R = nominal * exp(N(0, sigma)).
+        rng = random.Random(7)
+        reference = np.array([
+            nominal * np.exp(rng.gauss(0.0, sigma)) for _ in range(40_000)
+        ])
+        logs = np.log(vm.resistance / nominal).ravel()
+        ref_logs = np.log(reference / nominal)
+        assert abs(logs.mean() - ref_logs.mean()) < 0.02
+        assert abs(logs.std() - ref_logs.std()) < 0.02
+        assert abs(logs.std() - sigma) < 0.02
+        for q in (5, 25, 50, 75, 95):
+            assert abs(np.percentile(logs, q)
+                       - np.percentile(ref_logs, q)) < 0.03
+
+    def test_lognormal_seeded_and_accepts_generator(self):
+        a = lognormal_variation(4, 4, 0.3, random.Random(9))
+        b = lognormal_variation(4, 4, 0.3, random.Random(9))
+        assert np.allclose(a.resistance, b.resistance)
+        g = lognormal_variation(4, 4, 0.3, np.random.default_rng(9))
+        h = lognormal_variation(4, 4, 0.3, np.random.default_rng(9))
+        assert np.allclose(g.resistance, h.resistance)
+        assert not np.allclose(a.resistance, g.resistance)
+
     def test_best_path_delay_simple(self):
         grid = [[True, False], [True, False]]
         resistance = np.array([[1.0, 9.0], [2.0, 9.0]])
