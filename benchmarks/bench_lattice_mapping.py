@@ -3,14 +3,27 @@
 The four-terminal analogue of BISM: place a synthesized lattice onto a
 defective site fabric, exploiting stuck-closed sites as constant-1 padding
 and stuck-open sites as constant-0.
+
+The exhaustive mapper and mapped-lattice verification route through the
+batched kernels of :mod:`repro.xbareval` (the scalar ``placement_valid``
+stays as the bit-exact reference; the per-fabric random mapper keeps its
+early-exit scalar loop, which wins at that batch size); the ensemble
+benchmark below maps a whole batch of fabrics per kernel call through
+:func:`repro.faultlab.kernels.map_lattice_random_batch`.
 """
 
 import random
+import time
+
+import numpy as np
 
 from repro.eval.benchsuite import by_name
 from repro.eval.experiments import get_experiment
+from repro.faultlab import bernoulli_defect_batch
+from repro.faultlab.kernels import map_lattice_random_batch
 from repro.reliability import map_lattice_random, random_defect_map
 from repro.synthesis import fold_lattice, synthesize_lattice_dual
+from repro.xbareval import lattice_site_codes
 
 
 def test_latticemap_table(benchmark, save_table):
@@ -40,3 +53,52 @@ def test_lattice_mapping_speed(benchmark):
 
     successes = benchmark(run)
     assert successes >= 5
+
+
+def test_lattice_mapping_batched_ensemble(benchmark, save_table):
+    """Whole-ensemble mapping through the batched core: one kernel call
+    per attempt wave instead of one scalar search per fabric."""
+    f = by_name("xnor2").function
+    lattice = fold_lattice(synthesize_lattice_dual(f.on), f.on)
+    codes = lattice_site_codes(lattice)
+    trials = 400
+
+    def scalar_sweep():
+        rng = random.Random(2)
+        local = random.Random(3)
+        return sum(
+            map_lattice_random(lattice,
+                               random_defect_map(8, 8, 0.1, rng),
+                               local, max_trials=100).success
+            for _ in range(trials)
+        )
+
+    def batched_sweep():
+        gen = np.random.default_rng(2)
+        batch = bernoulli_defect_batch(trials, 8, 8, 0.1, gen)
+        success, _ = map_lattice_random_batch(batch.states, codes, gen,
+                                              max_trials=100)
+        return int(success.sum())
+
+    scalar_sweep()
+    batched_sweep()
+
+    start = time.perf_counter()
+    scalar_successes = scalar_sweep()
+    scalar_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_successes = benchmark.pedantic(batched_sweep, rounds=1,
+                                           iterations=1)
+    batched_elapsed = time.perf_counter() - start
+
+    save_table("lattice_mapping_batched", "\n".join([
+        f"random mapping, {trials} fabrics 8x8 @ 10% defects, "
+        f"target {lattice.rows}x{lattice.cols}",
+        f"scalar  {scalar_elapsed:8.3f}s  success {scalar_successes}/{trials}",
+        f"batched {batched_elapsed:8.3f}s  success {batched_successes}/{trials}",
+        f"speedup {scalar_elapsed / batched_elapsed:8.1f}x",
+    ]))
+    # same distribution, independent streams: rates must agree loosely
+    assert abs(scalar_successes - batched_successes) <= trials * 0.15
+    assert batched_successes > trials * 0.5

@@ -22,6 +22,9 @@ setup(
     install_requires=["numpy"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        # optional accelerator: repro.xbareval uses one scipy.ndimage.label
+        # pass per batch when available (pure-numpy fallback otherwise)
+        "fast": ["scipy"],
     },
     entry_points={
         "console_scripts": [

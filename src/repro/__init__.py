@@ -16,6 +16,9 @@ Sub-packages:
 * :mod:`repro.engine`      — parallel batch-synthesis engine
 * :mod:`repro.faultlab`    — vectorized Monte-Carlo fault-tolerance
   campaigns (Section IV at ensemble scale, ``nanoxbar faultsim``)
+* :mod:`repro.xbareval`    — batched packed-bitset lattice evaluation core
+  (whole truth tables and placement sweeps per kernel call; the scalar
+  percolation checks remain as bit-exact references)
 
 Quickstart::
 
@@ -49,7 +52,7 @@ drives the whole standard benchmark suite through it in one shot::
 """
 
 from . import arch, boolean, crossbar, eval, reliability, sat, synthesis
-from . import engine
+from . import engine, xbareval
 from .boolean import BooleanFunction, Cover, Cube, Literal, TruthTable
 from .crossbar import DiodeCrossbar, FetCrossbar, Lattice
 from .engine import BatchEngine, JobResult, SynthesisJob
@@ -91,4 +94,5 @@ __all__ = [
     "synthesize_lattice_dual",
     "synthesize_lattice_optimal",
     "synthesize_pcircuit",
+    "xbareval",
 ]

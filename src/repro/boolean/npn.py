@@ -5,20 +5,42 @@ inputs, complementing some inputs, and possibly complementing the output.
 Array synthesis cost is invariant under input transforms (literals are
 free in both polarities on a crossbar), so NPN classes are the right
 granularity for expressiveness studies — e.g. "which functions fit a 2x2
-lattice" (see :mod:`repro.synthesis.enumerate_lattices`).
+lattice" (see :mod:`repro.synthesis.enumerate_lattices`) — and the right
+key granularity for the :mod:`repro.engine` result cache.
 
-Exhaustive canonicalisation; practical for n <= 5 (the classic class
-counts: 4 classes for n=2, 14 for n=3).
+The canonical representative is the table whose value array is
+lexicographically minimal (entry 0 first) over all transforms — equal to
+what blind enumeration of all ``n! * 2^(n+1)`` transforms finds, but
+computed by a pruned packed-uint64 search (:func:`npn_canonical`):
+
+* each candidate table is packed into a single ``uint64`` key (entry 0 as
+  the most significant bit), so a whole permutation sweep is one
+  vectorised gather + reduction instead of ``n!`` Python loops;
+* the ``2^(n+1)`` *(output polarity, input negation)* branches are pruned
+  by a sound cofactor-signature lower bound — the key's entry 0 is
+  ``f(nu) ^ o`` and its entries at the power-of-two positions are exactly
+  the 1-Hamming cofactor values around ``nu``, so a branch whose best
+  possible key already exceeds the incumbent is skipped without touching
+  any permutation.
+
+Exact for ``n <= MAX_EXACT_NPN_VARS`` (= 6); the blind reference
+implementation is kept as :func:`npn_canonical_exhaustive` for the
+property suite (classic class counts: 4 for n=2, 14 for n=3).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import permutations
 
 import numpy as np
 
 from .truthtable import TruthTable
+
+#: Largest variable count the pruned exact canonical search accepts
+#: (2^n must fit one packed uint64 key).
+MAX_EXACT_NPN_VARS = 6
 
 
 @dataclass(frozen=True)
@@ -52,8 +74,13 @@ def apply_transform(table: TruthTable, transform: NpnTransform) -> TruthTable:
     return TruthTable(n, values)
 
 
-def npn_canonical(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
-    """The lexicographically-minimal NPN representative and its witness."""
+def npn_canonical_exhaustive(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
+    """Blind-enumeration reference canonicalisation (n <= 5).
+
+    Tries every ``n! * 2^(n+1)`` transform; kept as the bit-exact
+    reference :func:`npn_canonical`'s pruned search is property-tested
+    against.
+    """
     n = table.n
     if n > 5:
         raise ValueError("exhaustive NPN canonicalisation supports n <= 5")
@@ -70,6 +97,82 @@ def npn_canonical(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
                     best, best_key, best_transform = candidate, key, transform
     assert best is not None and best_transform is not None
     return best, best_transform
+
+
+@lru_cache(maxsize=8)
+def _perm_tables(n: int) -> tuple[tuple[tuple[int, ...], ...], np.ndarray]:
+    """All permutations of ``range(n)`` plus their index-scatter table.
+
+    ``scatter[p, m]`` is the input index reached from assignment ``m`` by
+    routing new-variable bit ``i`` to old variable ``perms[p][i]`` — the
+    permutation part of the transform, ready to be XORed with a negation
+    mask and used as one gather into the packed table.
+    """
+    perms = tuple(permutations(range(n)))
+    m = np.arange(1 << n, dtype=np.int64)
+    scatter = np.zeros((len(perms), 1 << n), dtype=np.int64)
+    for p, perm in enumerate(perms):
+        for new_var, old_var in enumerate(perm):
+            scatter[p] |= ((m >> new_var) & 1) << old_var
+    return perms, scatter
+
+
+def npn_canonical(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
+    """The lexicographically-minimal NPN representative and its witness.
+
+    Pruned packed-uint64 branch-and-bound, exact for ``n <=
+    MAX_EXACT_NPN_VARS``: for every *(output polarity o, input negation
+    nu)* branch the candidate key's fixed entries — entry 0 is
+    ``f(nu) ^ o`` and the power-of-two entries are a permutation of the
+    1-Hamming cofactor signature ``{f(nu ^ e_v) ^ o}`` — give a sound
+    optimistic bound; branches that cannot beat the incumbent are skipped,
+    and surviving branches evaluate all ``n!`` permutations in one
+    vectorised gather instead of a Python loop per transform.
+    """
+    n = table.n
+    if n > MAX_EXACT_NPN_VARS:
+        raise ValueError(
+            f"exact NPN canonicalisation supports n <= {MAX_EXACT_NPN_VARS}")
+    size = 1 << n
+    values = table.values
+    perms, scatter = _perm_tables(n)
+    weights = (np.uint64(1) << (np.uint64(63) - np.arange(size,
+                                                          dtype=np.uint64)))
+
+    # Optimistic lower bound per branch: the candidate's entry 0 and, at
+    # the power-of-two positions, the sorted 1-Hamming cofactor values
+    # (sorted-ascending is the best any permutation could arrange them);
+    # all other positions bounded by 0.
+    single_positions = [63 - (1 << i) for i in range(n)]
+    branches = []
+    for out_neg in (False, True):
+        for neg_mask in range(size):
+            first = bool(values[neg_mask]) ^ out_neg
+            singles = sorted(bool(values[neg_mask ^ (1 << v)]) ^ out_neg
+                             for v in range(n))
+            bound = (1 << 63) if first else 0
+            for bit, position in zip(singles, single_positions):
+                if bit:
+                    bound |= 1 << position
+            branches.append((bound, out_neg, neg_mask))
+    branches.sort(key=lambda branch: branch[0])
+
+    best_key: int | None = None
+    best_transform: NpnTransform | None = None
+    for bound, out_neg, neg_mask in branches:
+        if best_key is not None and bound > best_key:
+            break  # branches are bound-sorted: nothing later can win
+        candidates = values[scatter ^ neg_mask]
+        if out_neg:
+            candidates = ~candidates
+        keys = np.where(candidates, weights, np.uint64(0)).sum(axis=1)
+        winner = int(keys.argmin())
+        key = int(keys[winner])
+        if best_key is None or key < best_key:
+            best_key = key
+            best_transform = NpnTransform(perms[winner], neg_mask, out_neg)
+    assert best_transform is not None
+    return apply_transform(table, best_transform), best_transform
 
 
 def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:

@@ -12,6 +12,8 @@ experiments have far fewer inputs.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -20,6 +22,10 @@ from .cube import Cube
 
 #: Largest variable count for which dense tables are allowed.
 MAX_DENSE_VARS = 24
+
+#: Wire-format magic/version for :meth:`TruthTable.to_bytes` (mirrors
+#: ``repro.reliability.defects.DefectMap``'s ``b"DM1\0"``).
+_WIRE_MAGIC = b"TT1\x00"
 
 
 def _check_n(n: int) -> None:
@@ -131,6 +137,47 @@ class TruthTable:
         for m in np.flatnonzero(self._values):
             result |= 1 << int(m)
         return result
+
+    # ------------------------------------------------------------------
+    # Compact serialization (process boundaries, content-hash caching)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Compact, deterministic wire format (packed-bit payload).
+
+        Layout: ``b"TT1\\0"`` magic, ``<B`` variable count, then the
+        ``2^n`` values packed eight to a byte little-endian (bit ``k`` of
+        byte ``j`` is ``f(8j + k)``).  Equal tables always serialise to
+        equal bytes, so the output is content-hashable; the engine cache
+        keys NPN-canonical representatives by :meth:`content_hash`.
+        """
+        payload = np.packbits(self._values, bitorder="little").tobytes()
+        return struct.pack("<4sB", _WIRE_MAGIC, self.n) + payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TruthTable":
+        """Inverse of :meth:`to_bytes` (validates magic, size, padding)."""
+        head_size = struct.calcsize("<4sB")
+        if len(data) < head_size:
+            raise ValueError("truth-table payload shorter than its header")
+        magic, n = struct.unpack_from("<4sB", data)
+        if magic != _WIRE_MAGIC:
+            raise ValueError(f"bad truth-table magic {magic!r}")
+        _check_n(n)
+        payload = data[head_size:]
+        expected = ((1 << n) + 7) // 8
+        if len(payload) != expected:
+            raise ValueError(
+                f"expected {expected} payload bytes for n={n}, got {len(payload)}"
+            )
+        packed = np.frombuffer(payload, dtype=np.uint8)
+        bits = np.unpackbits(packed, bitorder="little")
+        if bits[1 << n:].any():
+            raise ValueError("nonzero padding bits in truth-table payload")
+        return cls(n, bits[:1 << n].astype(bool))
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`to_bytes` (stable cache key)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
 
     def __call__(self, assignment: int) -> bool:
         return bool(self._values[assignment])

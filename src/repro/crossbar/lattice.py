@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..boolean.cover import Cover
 from ..boolean.cube import Cube, Literal
 from ..boolean.truthtable import TruthTable
+from ..xbareval.lattice_eval import evaluate_assignments, lattice_truthtable
 from .paths import enumerate_top_bottom_paths, top_bottom_connected
 
 Site = Literal | bool
@@ -127,8 +130,30 @@ class Lattice:
         """Operational semantics: top-bottom percolation through ON sites."""
         return top_bottom_connected(self.conduction_grid(assignment, site_override))
 
+    def evaluate_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """Operational semantics for a whole batch of assignments at once.
+
+        Vectorized through :mod:`repro.xbareval`; entry ``b`` equals
+        ``evaluate(assignments[b])``.
+        """
+        return evaluate_assignments(self, assignments)
+
     def to_truth_table(self) -> TruthTable:
-        """Dense semantics (2^n percolation checks)."""
+        """Dense semantics via the batched evaluation core.
+
+        All ``2^n`` conduction grids are materialised in one broadcast and
+        flooded together (:func:`repro.xbareval.lattice_truthtable`);
+        bit-exact against :meth:`to_truth_table_scalar`.
+        """
+        return lattice_truthtable(self)
+
+    def to_truth_table_scalar(self) -> TruthTable:
+        """Scalar reference semantics (2^n union-find percolation checks).
+
+        Kept as the bit-exact reference the batched
+        :meth:`to_truth_table` fast path is property-tested against
+        (``tests/test_xbareval.py``).
+        """
         return TruthTable.from_callable(self.n, self.evaluate)
 
     def implements(self, table: TruthTable) -> bool:

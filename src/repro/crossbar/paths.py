@@ -14,6 +14,14 @@ and bottom are disconnected exactly when an 8-connected path of OFF sites
 joins the left and right edges (:func:`left_right_blocked_8`).  The duality
 is both a test invariant and the off-set witness in the SAT encoding of
 optimal lattice synthesis.
+
+The scalar functions here are the **bit-exact references** for the batched
+kernels of :mod:`repro.xbareval.connectivity`
+(:func:`~repro.xbareval.top_bottom_connected_batch`,
+:func:`~repro.xbareval.left_right_blocked_8_batch`), which answer the same
+questions for whole ``(B, R, C)`` batches per call; hot paths should go
+through those, with these retained for single-grid checks and the
+property suite (``tests/test_xbareval.py``).
 """
 
 from __future__ import annotations

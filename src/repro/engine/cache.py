@@ -15,8 +15,15 @@ function plus a *polarity slot*:
   substitution of :func:`transform_lattice_from_canonical` (no lattice
   complementation is ever needed);
 * functions with more than :data:`MAX_NPN_VARS` variables fall back to an
-  identity witness (exact-match caching) because exhaustive NPN
-  canonicalisation is exponential in ``n``.
+  identity witness (exact-match caching) because exact NPN
+  canonicalisation is exponential in ``n``; up to n = 6 the pruned
+  packed-uint64 search of :func:`repro.boolean.npn.npn_canonical` keeps
+  exact class-level keys affordable.
+
+Key texts are the :meth:`~repro.boolean.truthtable.TruthTable.content_hash`
+of the keyed table (the packed-bit wire format of ``TruthTable.to_bytes``),
+not ad-hoc hex packing — the same content-addressing scheme ``DefectMap``
+uses in the faultlab store.
 
 Every rewritten lattice is re-verified against the requesting function by
 the engine, so a stale or corrupted cache can never produce a wrong
@@ -37,8 +44,10 @@ from ..boolean.truthtable import TruthTable
 from ..crossbar.lattice import Lattice, Site
 from .jobs import StrategyOutcome
 
-#: Exhaustive NPN canonicalisation is n! * 2^n * 2; keep it to small n.
-MAX_NPN_VARS = 5
+#: Largest n with exact NPN-canonical cache keys.  The pruned
+#: packed-uint64 search (:func:`repro.boolean.npn.npn_canonical`) makes
+#: n = 6 affordable; beyond that the key falls back to the raw table.
+MAX_NPN_VARS = 6
 
 
 # ----------------------------------------------------------------------
@@ -53,9 +62,9 @@ def canonical_cache_key(table: TruthTable,
                         ) -> tuple[str, NpnTransform]:
     """The cache key text for ``table`` plus the witness transform.
 
-    For ``n <= max_npn_vars`` the key is the hex-packed NPN canonical
-    representative; beyond that the raw table is the key (identity witness),
-    trading class-level sharing for tractability.
+    For ``n <= max_npn_vars`` the key is the content hash of the NPN
+    canonical representative; beyond that the raw table is the key
+    (identity witness), trading class-level sharing for tractability.
     """
     return _canonical_from_bits(table.n, table.bits, max_npn_vars)
 
@@ -63,15 +72,14 @@ def canonical_cache_key(table: TruthTable,
 @lru_cache(maxsize=1 << 14)
 def _canonical_from_bits(n: int, bits: int, max_npn_vars: int
                          ) -> tuple[str, NpnTransform]:
-    # Exhaustive canonicalisation is the warm-path bottleneck (n! * 2^n+1
-    # candidate transforms), so memoise per packed table.
+    # Canonicalisation is the warm-path bottleneck, so memoise per packed
+    # table.
     table = TruthTable.from_bits(n, bits)
     if n <= max_npn_vars:
         canonical, transform = npn_canonical(table)
     else:
         canonical, transform = table, identity_transform(n)
-    width = max(1, ((1 << n) + 3) // 4)
-    return f"{canonical.bits:0{width}x}", transform
+    return canonical.content_hash(), transform
 
 
 def canonical_polarity_table(table: TruthTable,

@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from ..boolean.npn import NpnTransform
 from ..boolean.truthtable import TruthTable
+from ..xbareval import implements_table
 from .cache import (
     CachedResult,
     ResultCache,
@@ -219,7 +220,7 @@ class BatchEngine:
             table = job.table
             lattice = transform_lattice_from_canonical(cached.lattice,
                                                        transform)
-            if not lattice.implements(table):
+            if not implements_table(lattice, table):
                 if not hit:
                     raise RuntimeError(
                         f"freshly-raced lattice for {job.label!r} failed "
@@ -241,7 +242,7 @@ class BatchEngine:
                 hit = False
                 lattice = transform_lattice_from_canonical(cached.lattice,
                                                            transform)
-                if not lattice.implements(table):  # pragma: no cover
+                if not implements_table(lattice, table):  # pragma: no cover
                     raise RuntimeError(
                         f"re-raced lattice for {job.label!r} still fails "
                         "verification (engine bug)")

@@ -29,6 +29,7 @@ from ..synthesis.lattice_dual import synthesize_lattice_dual
 from ..synthesis.lattice_optimal import synthesize_lattice_optimal
 from ..synthesis.optimize import fold_lattice
 from ..synthesis.pcircuit import best_pcircuit
+from ..xbareval import implements_table
 from .jobs import DEFAULT_STRATEGIES, StrategyOutcome
 
 
@@ -170,7 +171,9 @@ def run_portfolio(table: TruthTable,
             outcomes.append(StrategyOutcome(
                 name, "not-applicable", elapsed=elapsed))
             continue
-        if not lattice.implements(table):
+        # Batched whole-table verification (repro.xbareval): one flood
+        # call per candidate instead of 2^n scalar percolation checks.
+        if not implements_table(lattice, table):
             outcomes.append(StrategyOutcome(
                 name, "failed", elapsed=elapsed,
                 detail="candidate failed verification"))

@@ -26,12 +26,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..crossbar.lattice import Lattice
-from .maps import DefectBatch, STUCK_CLOSED, STUCK_OPEN
-
-#: Target-site codes for the mapping kernels.
-SITE_CONST0 = 0
-SITE_CONST1 = 1
-SITE_LITERAL = 2
+from ..xbareval import placement_valid_batch as _placement_valid_batch
+from ..xbareval.placement import (
+    SITE_CONST0,
+    SITE_CONST1,
+    SITE_LITERAL,
+    lattice_site_codes,
+)
+from .maps import DefectBatch
 
 
 # ----------------------------------------------------------------------
@@ -140,23 +142,11 @@ def clean_feasibility_batch(defective: np.ndarray, k: int) -> np.ndarray:
 def target_site_codes(target: Lattice) -> np.ndarray:
     """Encode a target lattice's sites for the mapping kernels.
 
-    ``SITE_CONST0`` / ``SITE_CONST1`` / ``SITE_LITERAL`` mirror the
-    compatibility asymmetry of
-    :func:`repro.reliability.lattice_mapping.site_compatible`: stuck-open
-    fabric sites realise exactly constant-0, stuck-closed exactly
-    constant-1, OK sites anything.
+    Thin alias of :func:`repro.xbareval.lattice_site_codes` (the encoding
+    moved into the evaluation core); kept so campaign code keeps one
+    import site.
     """
-    codes = np.empty((target.rows, target.cols), dtype=np.int8)
-    for i in range(target.rows):
-        for j in range(target.cols):
-            site = target.site(i, j)
-            if site is True:
-                codes[i, j] = SITE_CONST1
-            elif site is False:
-                codes[i, j] = SITE_CONST0
-            else:
-                codes[i, j] = SITE_LITERAL
-    return codes
+    return lattice_site_codes(target)
 
 
 def placement_valid_batch(states: np.ndarray, codes: np.ndarray,
@@ -164,25 +154,14 @@ def placement_valid_batch(states: np.ndarray, codes: np.ndarray,
                           col_maps: np.ndarray) -> np.ndarray:
     """Validity of one placement per trial, shape ``(trials,)``.
 
-    Per trial identical to
+    Delegates to :func:`repro.xbareval.placement_valid_batch`; per trial
+    identical to the scalar
     :func:`repro.reliability.lattice_mapping.placement_valid`: every target
     site must land on a compatible fabric site, and no selected row may
     carry a stuck-closed site on an unused column (a permanently
     conducting stray bridge).
     """
-    trials, _, cols = states.shape
-    t = np.arange(trials)
-    sub = states[t[:, None, None], row_maps[:, :, None], col_maps[:, None, :]]
-    incompatible = (
-        ((sub == STUCK_OPEN) & (codes[None] != SITE_CONST0))
-        | ((sub == STUCK_CLOSED) & (codes[None] != SITE_CONST1))
-    )
-    ok = ~incompatible.any(axis=(1, 2))
-    row_sub = states[t[:, None], row_maps]  # (trials, target_rows, cols)
-    used = np.zeros((trials, cols), dtype=bool)
-    used[t[:, None], col_maps] = True
-    stray = (row_sub == STUCK_CLOSED) & ~used[:, None, :]
-    return ok & ~stray.any(axis=(1, 2))
+    return _placement_valid_batch(states, codes, row_maps, col_maps)
 
 
 def sample_line_subsets(gen: np.random.Generator, trials: int, n: int,

@@ -32,8 +32,18 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..boolean.truthtable import TruthTable
 from ..crossbar.lattice import Lattice, Site
+from ..xbareval import (
+    defect_map_states,
+    lattice_site_codes,
+    lattice_truthtable,
+    placement_valid_grid,
+)
+from ..xbareval.placement import STUCK_CLOSED as _STUCK_CLOSED_CODE
+from ..xbareval.placement import STUCK_OPEN as _STUCK_OPEN_CODE
 from .defects import CrosspointState, DefectMap
 
 
@@ -48,7 +58,7 @@ def site_compatible(state: CrosspointState, site: Site) -> bool:
 
 def placement_valid(target: Lattice, defect_map: DefectMap,
                     row_map: tuple[int, ...], col_map: tuple[int, ...]) -> bool:
-    """Check one placement against the operating model.
+    """Check one placement against the operating model (scalar reference).
 
     Unused fabric *rows* are disconnected by the line-addressing scheme
     (the same assumption BISM makes), but within the selected rows every
@@ -58,6 +68,10 @@ def placement_valid(target: Lattice, defect_map: DefectMap,
     * every fabric site on a selected row but an unused column is not
       stuck-closed (a permanently conducting stray site could bridge two
       used columns laterally and create new paths).
+
+    The mapping searches below route the same predicate through the
+    batched kernels of :mod:`repro.xbareval.placement`; this scalar form
+    is the bit-exact reference they are property-tested against.
     """
     used_cols = set(col_map)
     for i, fabric_row in enumerate(row_map):
@@ -94,6 +108,14 @@ class LatticeMappingResult:
         ]
 
 
+def _exploited_defects(defect_map: DefectMap, row_map: tuple[int, ...],
+                       col_map: tuple[int, ...]) -> int:
+    return sum(
+        1 for r in row_map for c in col_map
+        if defect_map.state(r, c) is not CrosspointState.OK
+    )
+
+
 def map_lattice_random(target: Lattice, defect_map: DefectMap,
                        rng: random.Random,
                        max_trials: int = 500) -> LatticeMappingResult:
@@ -101,6 +123,15 @@ def map_lattice_random(target: Lattice, defect_map: DefectMap,
 
     Row order matters for lattices (paths cross rows in order), so row maps
     preserve relative order of the drawn physical rows; columns likewise.
+
+    One-fabric-at-a-time search: each trial draws and checks a single
+    placement with the scalar :func:`placement_valid` — at this batch
+    size the early-exiting scalar predicate beats any kernel launch, and
+    keeping the draw-check-stop loop preserves the historical ``rng``
+    stream exactly.  The *ensemble-scale* counterpart, which maps
+    thousands of fabrics per batched
+    :func:`repro.xbareval.placement_valid_batch` call, is
+    :func:`repro.faultlab.kernels.map_lattice_random_batch`.
     """
     if target.rows > defect_map.rows or target.cols > defect_map.cols:
         raise ValueError("target lattice larger than the fabric")
@@ -108,13 +139,9 @@ def map_lattice_random(target: Lattice, defect_map: DefectMap,
         row_map = tuple(sorted(rng.sample(range(defect_map.rows), target.rows)))
         col_map = tuple(sorted(rng.sample(range(defect_map.cols), target.cols)))
         if placement_valid(target, defect_map, row_map, col_map):
-            exploited = sum(
-                1 for i, r in enumerate(row_map)
-                for j, c in enumerate(col_map)
-                if defect_map.state(r, c) is not CrosspointState.OK
-            )
-            return LatticeMappingResult(True, row_map, col_map, trial,
-                                        exploited)
+            return LatticeMappingResult(
+                True, row_map, col_map, trial,
+                _exploited_defects(defect_map, row_map, col_map))
     return LatticeMappingResult(False, None, None, max_trials)
 
 
@@ -124,27 +151,48 @@ def map_lattice_exhaustive(target: Lattice, defect_map: DefectMap,
     """Exhaustive order-preserving placement search (small fabrics).
 
     Enumerates increasing row/column selections; complete, so a failure is
-    a proof that no order-preserving placement exists.
+    a proof that no order-preserving placement exists.  All candidate
+    placements (up to ``max_placements``, in the same lexicographic order
+    as the historical scalar loop) are checked in chunked calls to
+    :func:`repro.xbareval.placement_valid_grid`; the first valid one wins,
+    so results — including the ``trials`` accounting — are unchanged.
     """
-    from itertools import combinations
+    from itertools import combinations, islice
 
     if target.rows > defect_map.rows or target.cols > defect_map.cols:
         raise ValueError("target lattice larger than the fabric")
+    states = defect_map_states(defect_map)
+    codes = lattice_site_codes(target)
+    # Lazy placement stream: nothing beyond the current chunk is ever
+    # materialised, so max_placements bounds work and memory even on
+    # fabrics with astronomically many selections.
+    placements = (
+        (row, col)
+        for row in combinations(range(defect_map.rows), target.rows)
+        for col in combinations(range(defect_map.cols), target.cols)
+    )
     trials = 0
-    for row_map in combinations(range(defect_map.rows), target.rows):
-        for col_map in combinations(range(defect_map.cols), target.cols):
-            trials += 1
-            if trials > max_placements:
-                return LatticeMappingResult(False, None, None, trials - 1)
-            if placement_valid(target, defect_map, row_map, col_map):
-                exploited = sum(
-                    1 for i, r in enumerate(row_map)
-                    for j, c in enumerate(col_map)
-                    if defect_map.state(r, c) is not CrosspointState.OK
-                )
-                return LatticeMappingResult(True, row_map, col_map, trials,
-                                            exploited)
-    return LatticeMappingResult(False, None, None, trials)
+    # Escalating chunks: an early success costs one small kernel call,
+    # a full enumeration amortises into large batches.
+    chunk_size = 64
+    while trials < max_placements:
+        chunk = list(islice(placements,
+                            min(chunk_size, max_placements - trials)))
+        chunk_size = min(chunk_size * 8, 8192)
+        if not chunk:
+            return LatticeMappingResult(False, None, None, trials)
+        row_maps = np.array([row for row, _ in chunk], dtype=np.int64)
+        col_maps = np.array([col for _, col in chunk], dtype=np.int64)
+        valid = placement_valid_grid(states, codes, row_maps, col_maps)
+        hits = np.flatnonzero(valid)
+        if hits.size:
+            first = int(hits[0])
+            row_map, col_map = chunk[first]
+            return LatticeMappingResult(
+                True, row_map, col_map, trials + first + 1,
+                _exploited_defects(defect_map, row_map, col_map))
+        trials += len(chunk)
+    return LatticeMappingResult(False, None, None, max_placements)
 
 
 def verify_mapped_lattice(target: Lattice, table: TruthTable,
@@ -170,19 +218,16 @@ def verify_mapped_lattice(target: Lattice, table: TruthTable,
     used = [sites[r] for r in result.row_map]
     fabric_lattice = Lattice(target.n, used)
 
-    def override(i: int, c: int, nominal: bool) -> bool:
-        state = defect_map.state(result.row_map[i], c)
-        if state is CrosspointState.STUCK_CLOSED:
-            return True
-        if state is CrosspointState.STUCK_OPEN:
-            return False
-        return nominal
-
-    for assignment in range(1 << target.n):
-        value = fabric_lattice.evaluate(assignment, override)
-        if value != table.evaluate(assignment):
-            return False
-    return True
+    # The physical overlay is static per site, so the whole 2^n check is
+    # one batched truth-table evaluation with stuck-closed sites forced ON
+    # and stuck-open sites forced OFF.
+    states = defect_map_states(defect_map)[list(result.row_map), :]
+    operated = lattice_truthtable(
+        fabric_lattice,
+        force_on=states == _STUCK_CLOSED_CODE,
+        force_off=states == _STUCK_OPEN_CODE,
+    )
+    return operated == table
 
 
 def mapping_success_sweep(target: Lattice, n: int, densities: list[float],

@@ -14,12 +14,18 @@ area k (the optimality frontier the SAT synthesiser proves per-instance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
+
+import numpy as np
 
 from ..boolean.cube import Literal
 from ..boolean.npn import npn_canonical
 from ..boolean.truthtable import TruthTable
-from ..crossbar.lattice import Lattice, Site
+from ..crossbar.lattice import Site
+from ..xbareval import evaluate_labellings
+
+#: Labellings evaluated per batched flood call (bounds the dense
+#: ``(chunk * 2^n, rows, cols)`` conduction tensor).
+_CHUNK_LABELLINGS = 4096
 
 
 def _labels(n: int, include_constants: bool = True) -> list[Site]:
@@ -32,6 +38,18 @@ def _labels(n: int, include_constants: bool = True) -> list[Site]:
     return labels
 
 
+def _label_value_table(labels: list[Site], n: int) -> np.ndarray:
+    """Boolean ``(num_labels, 2^n)`` value table of the candidate labels."""
+    assignments = np.arange(1 << n, dtype=np.int64)
+    values = np.empty((len(labels), 1 << n), dtype=bool)
+    for k, label in enumerate(labels):
+        if isinstance(label, Literal):
+            values[k] = (((assignments >> label.var) & 1) == 1) == label.positive
+        else:
+            values[k] = bool(label)
+    return values
+
+
 def enumerate_lattice_functions(rows: int, cols: int, n: int,
                                 include_constants: bool = True,
                                 limit: int | None = 2_000_000
@@ -39,21 +57,39 @@ def enumerate_lattice_functions(rows: int, cols: int, n: int,
     """All functions computable by some rows x cols lattice over n vars.
 
     Exhaustive over ``(2n+2)^(rows*cols)`` labellings; ``limit`` guards the
-    combinatorial blow-up.
+    combinatorial blow-up.  Labellings are evaluated in chunks through the
+    batched flood of :func:`repro.xbareval.evaluate_labellings` — one
+    conduction tensor per chunk instead of one union-find call per
+    (labelling, assignment) pair.
     """
     labels = _labels(n, include_constants)
     sites = rows * cols
-    total = len(labels) ** sites
+    num_labels = len(labels)
+    total = num_labels ** sites
     if limit is not None and total > limit:
         raise ValueError(
             f"{total} labellings exceed the enumeration limit {limit}"
         )
-    functions: set[TruthTable] = set()
-    for assignment in product(labels, repeat=sites):
-        grid = [list(assignment[r * cols:(r + 1) * cols]) for r in range(rows)]
-        lattice = Lattice(n, grid)
-        functions.add(lattice.to_truth_table())
-    return functions
+    label_values = _label_value_table(labels, n)
+    seen: set[bytes] = set()
+    for start in range(0, total, _CHUNK_LABELLINGS):
+        stop = min(start + _CHUNK_LABELLINGS, total)
+        # Mixed-radix decode of the labelling indices (itertools.product
+        # order: the last site varies fastest).
+        codes = np.arange(start, stop, dtype=np.int64)
+        grids = np.empty((stop - start, sites), dtype=np.int64)
+        for s in range(sites - 1, -1, -1):
+            grids[:, s] = codes % num_labels
+            codes //= num_labels
+        tables = evaluate_labellings(
+            label_values, grids.reshape(stop - start, rows, cols))
+        packed = np.packbits(tables, axis=1)
+        seen.update(row.tobytes() for row in packed)
+    return {
+        TruthTable(n, np.unpackbits(np.frombuffer(packed, dtype=np.uint8),
+                                    count=1 << n).astype(bool))
+        for packed in seen
+    }
 
 
 @dataclass(frozen=True)

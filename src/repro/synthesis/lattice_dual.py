@@ -26,6 +26,7 @@ from ..boolean.function import BooleanFunction
 from ..boolean.minimize import minimize
 from ..boolean.truthtable import TruthTable
 from ..crossbar.lattice import Lattice
+from ..xbareval import implements_table
 from .compose import constant_lattice
 
 
@@ -120,7 +121,9 @@ def synthesize_lattice_dual(function: BooleanFunction | TruthTable,
     cover = minimize(table, method=method)
     dual_cover = minimize(table.dual(), method=method)
     lattice = lattice_from_covers(cover, dual_cover)
-    if verify and not lattice.implements(table):
+    # Candidate check through the batched evaluation core (one flood call
+    # over all 2^n assignments).
+    if verify and not implements_table(lattice, table):
         raise SynthesisError("dual-based lattice failed verification")
     return lattice
 
@@ -147,7 +150,7 @@ def dual_synthesis_report(function: BooleanFunction,
     cover = minimize(function.on, method=method)
     dual_cover = minimize(function.on.dual(), method=method)
     lattice = lattice_from_covers(cover, dual_cover)
-    if not lattice.implements(function.on):
+    if not implements_table(lattice, function.on):
         raise SynthesisError("dual-based lattice failed verification")
     return DualSynthesisReport(
         label=function.label or "f",

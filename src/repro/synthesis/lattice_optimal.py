@@ -31,6 +31,7 @@ from ..crossbar.paths import enumerate_top_bottom_paths
 from ..sat.cnf import Cnf
 from ..sat.encodings import exactly_one
 from ..sat.solver import Solver
+from ..xbareval import implements_table
 from .compose import constant_lattice
 from .lattice_dual import synthesize_lattice_dual
 from .optimize import fold_lattice
@@ -195,7 +196,7 @@ def synthesize_lattice_optimal(table: TruthTable,
         tried.append((rows, cols))
         if outcome is True:
             lattice = decode_lattice(table, rows, cols, site_vars, solver.model())
-            if not lattice.implements(table):
+            if not implements_table(lattice, table):
                 raise RuntimeError("SAT-synthesised lattice failed verification")
             return OptimalSynthesisResult(lattice, proved, tried, skipped, conflicts)
         if outcome is None:

@@ -1,0 +1,70 @@
+"""``repro.xbareval`` — batched packed-bitset lattice evaluation core.
+
+Every semantic check in the package (Section III lattice synthesis
+validation, Section IV mapping/yield experiments) bottoms out in
+top-bottom percolation connectivity.  This subsystem computes it for whole
+batches at once:
+
+* :mod:`~repro.xbareval.connectivity` — ``(B, R, C)`` boolean conduction
+  tensors flooded by iterative label propagation, replacing the per-grid
+  scalar union-find of :mod:`repro.crossbar.paths`;
+* :mod:`~repro.xbareval.lattice_eval` — all ``2^n`` conduction grids of a
+  lattice materialised via packed literal masks in one broadcast;
+  :func:`lattice_truthtable` returns a
+  :class:`~repro.boolean.truthtable.TruthTable` without a Python-level
+  loop over assignments;
+* :mod:`~repro.xbareval.placement` — batched defect-aware placement
+  validity (one placement per fabric of an ensemble, or many placements
+  against one fabric).
+
+The scalar functions stay in place as bit-exact references; the property
+suite (``tests/test_xbareval.py``) asserts agreement on every kernel, and
+``benchmarks/bench_xbareval.py`` tracks the speedups.  Consumers:
+:class:`repro.crossbar.lattice.Lattice`, the synthesis candidate checks,
+:mod:`repro.reliability.lattice_mapping`, :mod:`repro.faultlab.kernels`
+and the :mod:`repro.engine` portfolio verification.
+"""
+
+from .connectivity import (
+    left_right_blocked_8_batch,
+    percolation_duality_holds_batch,
+    top_bottom_connected_batch,
+)
+from .lattice_eval import (
+    CHUNK_ASSIGNMENTS,
+    conduction_tensor,
+    evaluate_assignments,
+    evaluate_labellings,
+    implements_table,
+    lattice_truthtable,
+    site_masks,
+)
+from .placement import (
+    SITE_CONST0,
+    SITE_CONST1,
+    SITE_LITERAL,
+    defect_map_states,
+    lattice_site_codes,
+    placement_valid_batch,
+    placement_valid_grid,
+)
+
+__all__ = [
+    "CHUNK_ASSIGNMENTS",
+    "SITE_CONST0",
+    "SITE_CONST1",
+    "SITE_LITERAL",
+    "conduction_tensor",
+    "defect_map_states",
+    "evaluate_assignments",
+    "evaluate_labellings",
+    "implements_table",
+    "lattice_site_codes",
+    "lattice_truthtable",
+    "left_right_blocked_8_batch",
+    "percolation_duality_holds_batch",
+    "placement_valid_batch",
+    "placement_valid_grid",
+    "site_masks",
+    "top_bottom_connected_batch",
+]

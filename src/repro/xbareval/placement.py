@@ -1,0 +1,154 @@
+"""Batched defect-aware placement validity (Section IV-B self-mapping).
+
+The scalar reference is
+:func:`repro.reliability.lattice_mapping.placement_valid`: a target lattice
+placement is valid iff every target site lands on a compatible fabric site
+(stuck-open realises exactly constant-0, stuck-closed exactly constant-1,
+OK anything) and no selected fabric row carries a stuck-closed site on an
+unused column (a permanently conducting stray bridge).
+
+Two batched layouts cover the workloads:
+
+* :func:`placement_valid_batch` — one placement per *fabric* of a
+  ``(trials, rows, cols)`` ensemble (the Monte-Carlo campaigns of
+  :mod:`repro.faultlab`);
+* :func:`placement_valid_grid` — many placements against one fabric (the
+  exhaustive and random mapping searches of
+  :mod:`repro.reliability.lattice_mapping`).
+
+State codes match :data:`repro.reliability.defects.STATE_TO_CODE` and the
+tensor layout of :mod:`repro.faultlab.maps`; they are redeclared here so
+the evaluation core depends only on :mod:`repro.boolean` and numpy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..boolean.cube import Literal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crossbar.lattice import Lattice
+
+#: Crosspoint state codes (== repro.reliability.defects.STATE_TO_CODE).
+OK = 0
+STUCK_OPEN = 1
+STUCK_CLOSED = 2
+
+#: Target-site codes for the mapping kernels.
+SITE_CONST0 = 0
+SITE_CONST1 = 1
+SITE_LITERAL = 2
+
+
+def lattice_site_codes(target: "Lattice") -> np.ndarray:
+    """Encode a target lattice's sites for the placement kernels.
+
+    ``SITE_CONST0`` / ``SITE_CONST1`` / ``SITE_LITERAL`` mirror the
+    compatibility asymmetry of
+    :func:`repro.reliability.lattice_mapping.site_compatible`: stuck-open
+    fabric sites realise exactly constant-0, stuck-closed exactly
+    constant-1, OK sites anything.
+    """
+    rows, cols = len(target.sites), len(target.sites[0])
+    codes = np.empty((rows, cols), dtype=np.int8)
+    for i, row in enumerate(target.sites):
+        for j, site in enumerate(row):
+            if isinstance(site, Literal):
+                codes[i, j] = SITE_LITERAL
+            elif site:
+                codes[i, j] = SITE_CONST1
+            else:
+                codes[i, j] = SITE_CONST0
+    return codes
+
+
+def _placement_verdicts(sub: np.ndarray, row_sub: np.ndarray,
+                        used: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Shared verdict tail of the placement kernels.
+
+    Args:
+        sub: ``(P, target_rows, target_cols)`` fabric states under the
+            target footprint.
+        row_sub: ``(P, target_rows, cols)`` full selected fabric rows.
+        used: boolean ``(P, cols)`` selected-column masks.
+        codes: ``(target_rows, target_cols)`` site codes.
+
+    Mirrors the scalar rule exactly: every target site must land on a
+    compatible fabric site, and no selected row may carry a stuck-closed
+    site on an unused column (a permanently conducting stray bridge).
+    """
+    incompatible = (
+        ((sub == STUCK_OPEN) & (codes[None] != SITE_CONST0))
+        | ((sub == STUCK_CLOSED) & (codes[None] != SITE_CONST1))
+    )
+    ok = ~incompatible.any(axis=(1, 2))
+    stray = (row_sub == STUCK_CLOSED) & ~used[:, None, :]
+    return ok & ~stray.any(axis=(1, 2))
+
+
+def placement_valid_batch(states: np.ndarray, codes: np.ndarray,
+                          row_maps: np.ndarray,
+                          col_maps: np.ndarray) -> np.ndarray:
+    """Validity of one placement per trial, shape ``(trials,)``.
+
+    Args:
+        states: uint8 ``(trials, rows, cols)`` fabric-state ensemble.
+        codes: int8 ``(target_rows, target_cols)`` site codes
+            (:func:`lattice_site_codes`).
+        row_maps / col_maps: integer ``(trials, target_rows)`` /
+            ``(trials, target_cols)`` sorted line selections.
+
+    Per trial identical to the scalar
+    :func:`repro.reliability.lattice_mapping.placement_valid`.
+    """
+    trials, _, cols = states.shape
+    t = np.arange(trials)
+    sub = states[t[:, None, None], row_maps[:, :, None], col_maps[:, None, :]]
+    row_sub = states[t[:, None], row_maps]  # (trials, target_rows, cols)
+    used = np.zeros((trials, cols), dtype=bool)
+    used[t[:, None], col_maps] = True
+    return _placement_verdicts(sub, row_sub, used, codes)
+
+
+def placement_valid_grid(states: np.ndarray, codes: np.ndarray,
+                         row_maps: np.ndarray,
+                         col_maps: np.ndarray) -> np.ndarray:
+    """Validity of many placements against ONE fabric, shape ``(P,)``.
+
+    Args:
+        states: uint8 ``(rows, cols)`` fabric-state grid.
+        codes: int8 ``(target_rows, target_cols)`` site codes.
+        row_maps / col_maps: integer ``(P, target_rows)`` /
+            ``(P, target_cols)`` candidate line selections.
+
+    Entry ``p`` equals the scalar ``placement_valid`` verdict for
+    placement ``(row_maps[p], col_maps[p])``.
+    """
+    states = np.asarray(states)
+    if states.ndim != 2:
+        raise ValueError("placement_valid_grid expects one (rows, cols) fabric")
+    cols = states.shape[1]
+    placements = row_maps.shape[0]
+    sub = states[row_maps[:, :, None], col_maps[:, None, :]]
+    row_sub = states[row_maps]              # (P, target_rows, cols)
+    used = np.zeros((placements, cols), dtype=bool)
+    used[np.arange(placements)[:, None], col_maps] = True
+    return _placement_verdicts(sub, row_sub, used, codes)
+
+
+def defect_map_states(defect_map) -> np.ndarray:
+    """Dense uint8 ``(rows, cols)`` state grid of a sparse ``DefectMap``.
+
+    Accepts any object with ``rows`` / ``cols`` / ``defects`` (the sparse
+    ``(r, c) -> CrosspointState`` dict of
+    :class:`repro.reliability.defects.DefectMap`); duck-typed to keep the
+    dependency arrow pointing into the core.
+    """
+    states = np.zeros((defect_map.rows, defect_map.cols), dtype=np.uint8)
+    for (r, c), state in defect_map.defects.items():
+        states[r, c] = STUCK_CLOSED if state.name == "STUCK_CLOSED" \
+            else STUCK_OPEN
+    return states

@@ -65,8 +65,9 @@ class TestNpn:
         assert sum(len(v) for v in groups.values()) == 16
 
     def test_large_n_rejected(self):
+        # the pruned search is exact through n = 6; beyond that it refuses
         with pytest.raises(ValueError):
-            npn_canonical(TruthTable.constant(6, True))
+            npn_canonical(TruthTable.constant(7, True))
         with pytest.raises(ValueError):
             count_npn_classes(4)
 
@@ -112,3 +113,45 @@ class TestEnumeration:
         assert frontier[xor2] == 4
         # the frontier covers the entire 2-variable space by area 4
         assert len(frontier) == 16
+
+
+class TestPrunedCanonicalSearch:
+    """The packed-uint64 pruned search vs the blind-enumeration reference."""
+
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_matches_exhaustive(self, n, data):
+        from repro.boolean.npn import npn_canonical_exhaustive
+
+        bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+        t = TruthTable.from_bits(n, bits)
+        pruned, witness = npn_canonical(t)
+        blind, _ = npn_canonical_exhaustive(t)
+        assert pruned == blind
+        assert apply_transform(t, witness) == pruned
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_n6_witness_round_trip(self, data):
+        """The lifted-limit contract: n = 6 canonicalisation is exact —
+        the witness reproduces the canonical form, and every transformed
+        classmate lands on the same representative."""
+        bits = data.draw(st.integers(0, (1 << 64) - 1))
+        t = TruthTable.from_bits(6, bits)
+        canonical, witness = npn_canonical(t)
+        assert apply_transform(t, witness) == canonical
+
+        perm = tuple(data.draw(st.permutations(list(range(6)))))
+        neg = data.draw(st.integers(0, 63))
+        out = data.draw(st.booleans())
+        mate = apply_transform(t, NpnTransform(perm, neg, out))
+        mate_canonical, mate_witness = npn_canonical(mate)
+        assert mate_canonical == canonical
+        assert apply_transform(mate, mate_witness) == mate_canonical
+
+    def test_rejects_beyond_exact_limit(self):
+        from repro.boolean.npn import MAX_EXACT_NPN_VARS
+
+        assert MAX_EXACT_NPN_VARS == 6
+        with pytest.raises(ValueError):
+            npn_canonical(TruthTable.constant(MAX_EXACT_NPN_VARS + 1, False))

@@ -165,3 +165,45 @@ class TestStructure:
     def test_hash_consistent_with_eq(self, t):
         clone = TruthTable(t.n, np.array(t.values))
         assert clone == t and hash(clone) == hash(t)
+
+
+class TestSerialization:
+    """Packed-bit wire format (to_bytes/from_bytes/content_hash)."""
+
+    @given(random_tables())
+    def test_round_trip(self, t):
+        again = TruthTable.from_bytes(t.to_bytes())
+        assert again == t
+
+    def test_round_trip_all_arities(self):
+        import random as _random
+
+        rng = _random.Random(3)
+        for n in range(0, 8):
+            bits = rng.getrandbits(1 << n)
+            t = TruthTable.from_bits(n, bits)
+            assert TruthTable.from_bytes(t.to_bytes()) == t
+
+    def test_content_hash_distinguishes_arity(self):
+        """Equal bit patterns over different variable counts hash apart
+        (the header serialises n)."""
+        t1 = TruthTable.from_bits(1, 0b01)
+        t2 = TruthTable.from_bits(2, 0b0101)  # same function, extended
+        assert t1.content_hash() != t2.content_hash()
+        assert t1.content_hash() == TruthTable.from_bits(1, 0b01).content_hash()
+
+    def test_bad_payloads_rejected(self):
+        import pytest
+
+        t = TruthTable.from_bits(3, 0b10110001)
+        data = t.to_bytes()
+        with pytest.raises(ValueError):
+            TruthTable.from_bytes(data[:3])               # truncated header
+        with pytest.raises(ValueError):
+            TruthTable.from_bytes(b"XX1\x00" + data[4:])  # bad magic
+        with pytest.raises(ValueError):
+            TruthTable.from_bytes(data + b"\x00")          # size mismatch
+        mangled = bytearray(TruthTable.from_bits(1, 0b01).to_bytes())
+        mangled[-1] |= 0x80                                # padding bit set
+        with pytest.raises(ValueError):
+            TruthTable.from_bytes(bytes(mangled))

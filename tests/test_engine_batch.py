@@ -335,3 +335,36 @@ class TestCli:
         code = cli_main(["bench", "nope"])
         assert code == 2
         assert "no benchmark named" in capsys.readouterr().err
+
+
+class TestSixVariableJobs:
+    """The lifted NPN limit end-to-end: n = 6 jobs get exact class keys."""
+
+    def test_n6_classmates_share_one_race(self, tmp_path):
+        import random
+
+        from repro.boolean.npn import NpnTransform, apply_transform
+
+        rng = random.Random(2026)
+        base = TruthTable.from_bits(6, rng.getrandbits(64))
+        mates = [base] + [
+            apply_transform(base, NpnTransform(
+                tuple(rng.sample(range(6), 6)), rng.getrandbits(6), False))
+            for _ in range(3)
+        ]
+        jobs = [SynthesisJob(n=6, bits=m.bits, label=f"m{i}",
+                             strategies=("dual",))
+                for i, m in enumerate(mates)]
+        with BatchEngine(cache_path=str(tmp_path / "n6.sqlite")) as engine:
+            results = engine.run(jobs)
+            # one NPN class, same polarity slot -> one race, three dedups
+            assert engine.stats.races_run == 1
+            assert engine.stats.deduped == 3
+            for job, result in zip(jobs, results):
+                assert result.lattice.implements(
+                    TruthTable.from_bits(6, job.bits))
+        # warm re-open: pure cache hits rewritten through the witnesses
+        with BatchEngine(cache_path=str(tmp_path / "n6.sqlite")) as engine:
+            again = engine.run(jobs)
+            assert engine.stats.cache_hits == len(jobs)
+            assert [r.lattice for r in again] == [r.lattice for r in results]

@@ -98,12 +98,34 @@ class TestCanonicalRoundTrip:
                 lattice, transform).implements(table)
 
     def test_large_n_falls_back_to_identity_witness(self):
-        table = TruthTable.from_bits(6, (1 << 64) - 2)
+        # n = 6 now gets exact NPN keys; the identity fallback starts at 7
+        table = TruthTable.from_bits(7, (1 << 128) - 2)
         canon, transform = canonical_cache_key(table)
-        assert transform.permutation == tuple(range(6))
+        assert transform.permutation == tuple(range(7))
         assert transform.input_negation_mask == 0
         assert not transform.output_negate
         assert canonical_polarity_table(table, transform) == table
+
+    def test_n6_gets_exact_npn_keys(self):
+        """The lifted limit: n = 6 classmates share one canonical key
+        (no identity-witness fallback hashing)."""
+        rng = random.Random(11)
+        from repro.boolean.npn import NpnTransform, apply_transform
+
+        table = TruthTable.from_bits(6, rng.getrandbits(64))
+        canon, transform = canonical_cache_key(table)
+        assert transform.permutation != tuple(range(6)) or \
+            transform.input_negation_mask != 0 or transform.output_negate or \
+            apply_transform(table, transform) == table
+        for _ in range(5):
+            mate = apply_transform(table, NpnTransform(
+                tuple(rng.sample(range(6), 6)), rng.getrandbits(6),
+                rng.random() < 0.5))
+            mate_canon, mate_transform = canonical_cache_key(mate)
+            assert mate_canon == canon
+            g = canonical_polarity_table(mate, mate_transform)
+            assert apply_transform(mate, mate_transform) == \
+                (~g if mate_transform.output_negate else g)
 
     def test_exhaustive_n2(self):
         """Every 2-variable function round-trips (16 functions, cheap)."""
@@ -188,11 +210,14 @@ class TestResultCache:
 
 
 def test_cache_key_width_is_stable():
-    """Keys are fixed-width hex so ranges of n never collide textually."""
+    """Keys are fixed-width content hashes so ranges of n never collide
+    textually (the wire format serialises n, so equal-bits tables of
+    different arity hash apart)."""
     canon1, _ = canonical_cache_key(TruthTable.from_bits(1, 0b01))
     canon4, _ = canonical_cache_key(TruthTable.from_bits(4, 1))
-    assert len(canon1) == 1
-    assert len(canon4) == 4
+    assert len(canon1) == 64
+    assert len(canon4) == 64
+    assert canon1 != canon4
 
 
 def test_npn_canonical_matches_module_for_small_n():
@@ -200,7 +225,7 @@ def test_npn_canonical_matches_module_for_small_n():
     canon_text, transform = canonical_cache_key(table)
     canonical, expected = npn_canonical(table)
     assert transform == expected
-    assert canon_text == f"{canonical.bits:04x}"
+    assert canon_text == canonical.content_hash()
 
 
 @pytest.mark.parametrize("bits", [0, 0xFF])

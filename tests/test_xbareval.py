@@ -1,0 +1,311 @@
+"""Property suite for the batched evaluation core (repro.xbareval).
+
+Every kernel is asserted bit-exact against its scalar reference on
+hypothesis-generated inputs:
+
+* :func:`top_bottom_connected_batch` vs the union-find
+  :func:`repro.crossbar.paths.top_bottom_connected`;
+* :func:`left_right_blocked_8_batch` vs
+  :func:`repro.crossbar.paths.left_right_blocked_8`, plus the
+  top-bottom/left-right percolation-duality invariant;
+* :func:`lattice_truthtable` / :func:`evaluate_assignments` vs the scalar
+  ``Lattice.to_truth_table_scalar`` / ``Lattice.evaluate`` loop,
+  including the stuck-site overlay path;
+* the placement-validity kernels vs
+  :func:`repro.reliability.lattice_mapping.placement_valid`;
+* :func:`evaluate_labellings` vs building each lattice and evaluating it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean.cube import Literal
+from repro.crossbar.lattice import Lattice
+from repro.crossbar.paths import (
+    left_right_blocked_8,
+    top_bottom_connected,
+)
+from repro.reliability.defects import (
+    CODE_TO_STATE,
+    DefectMap,
+)
+from repro.reliability.lattice_mapping import placement_valid
+from repro.xbareval import (
+    conduction_tensor,
+    defect_map_states,
+    evaluate_assignments,
+    evaluate_labellings,
+    implements_table,
+    lattice_site_codes,
+    lattice_truthtable,
+    left_right_blocked_8_batch,
+    percolation_duality_holds_batch,
+    placement_valid_batch,
+    placement_valid_grid,
+    top_bottom_connected_batch,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def grid_batches(draw):
+    batch = draw(st.integers(1, 6))
+    rows = draw(st.integers(1, 6))
+    cols = draw(st.integers(1, 6))
+    bits = draw(st.lists(st.booleans(), min_size=batch * rows * cols,
+                         max_size=batch * rows * cols))
+    return np.array(bits, dtype=bool).reshape(batch, rows, cols)
+
+
+@st.composite
+def lattices(draw, max_vars: int = 4, max_side: int = 4):
+    n = draw(st.integers(1, max_vars))
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    site = st.one_of(
+        st.just(True),
+        st.just(False),
+        st.builds(Literal, st.integers(0, n - 1), st.booleans()),
+    )
+    sites = draw(st.lists(st.lists(site, min_size=cols, max_size=cols),
+                          min_size=rows, max_size=rows))
+    return Lattice(n, sites)
+
+
+@st.composite
+def fabrics(draw, max_side: int = 6):
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    states = draw(st.lists(st.integers(0, 2), min_size=rows * cols,
+                           max_size=rows * cols))
+    return np.array(states, dtype=np.uint8).reshape(rows, cols)
+
+
+def _defect_map_from_states(states: np.ndarray) -> DefectMap:
+    rows, cols = states.shape
+    defects = {
+        (int(r), int(c)): CODE_TO_STATE[int(states[r, c])]
+        for r, c in zip(*np.nonzero(states))
+    }
+    return DefectMap(rows, cols, defects)
+
+
+def _target_from_codes(codes: np.ndarray) -> Lattice:
+    # code 0 -> constant-0, 1 -> constant-1, 2 -> a literal site
+    lut = {0: False, 1: True, 2: Literal(0, True)}
+    return Lattice(1, [[lut[int(x)] for x in row] for row in codes])
+
+
+# ----------------------------------------------------------------------
+# Connectivity kernels vs the scalar union-find
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(grid_batches())
+def test_top_bottom_connected_batch_matches_scalar(grids):
+    got = top_bottom_connected_batch(grids)
+    want = [top_bottom_connected(g.tolist()) for g in grids]
+    assert got.tolist() == want
+
+
+@settings(max_examples=120, deadline=None)
+@given(grid_batches())
+def test_left_right_blocked_8_batch_matches_scalar(grids):
+    got = left_right_blocked_8_batch(grids)
+    want = [left_right_blocked_8(g.tolist()) for g in grids]
+    assert got.tolist() == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(grid_batches())
+def test_all_kernel_variants_agree(grids):
+    """Label-pass, packed-bitset and unpacked floods are interchangeable
+    (whichever the dispatch picks, the others must match it)."""
+    from repro.xbareval import connectivity as conn
+
+    tb = [top_bottom_connected(g.tolist()) for g in grids]
+    lr = [left_right_blocked_8(g.tolist()) for g in grids]
+    assert conn._top_bottom_connected_packed(grids).tolist() == tb
+    assert conn._top_bottom_connected_unpacked(grids).tolist() == tb
+    assert conn._left_right_blocked_8_packed(grids).tolist() == lr
+    assert conn._left_right_blocked_8_unpacked(grids).tolist() == lr
+    if conn._ndimage is not None:
+        assert conn._top_bottom_connected_label(grids).tolist() == tb
+        assert conn._left_right_blocked_8_label(grids).tolist() == lr
+
+
+@settings(max_examples=120, deadline=None)
+@given(grid_batches())
+def test_percolation_duality_invariant(grids):
+    """Top-bottom ON disconnection <=> an 8-connected OFF left-right path."""
+    assert percolation_duality_holds_batch(grids).all()
+
+
+def test_degenerate_shapes():
+    assert top_bottom_connected_batch(
+        np.zeros((3, 0, 4), dtype=bool)).tolist() == [False] * 3
+    assert top_bottom_connected_batch(
+        np.zeros((2, 4, 0), dtype=bool)).tolist() == [False] * 2
+    assert left_right_blocked_8_batch(
+        np.zeros((3, 0, 4), dtype=bool)).tolist() == [True] * 3
+    with pytest.raises(ValueError):
+        top_bottom_connected_batch(np.zeros((4, 4), dtype=bool))
+
+
+def test_serpentine_worst_case():
+    """A maximally bent path still floods to the bottom."""
+    rows, cols = 7, 7
+    grid = np.zeros((rows, cols), dtype=bool)
+    col = 0
+    for r in range(rows):
+        if r % 2 == 0:
+            grid[r, :] = True
+        else:
+            grid[r, col] = True
+            col = cols - 1 - col
+    assert top_bottom_connected_batch(grid[None])[0]
+    assert top_bottom_connected(grid.tolist())
+    # cutting the last connector disconnects both implementations
+    cut = grid.copy()
+    cut[rows - 2, :] = False
+    assert not top_bottom_connected_batch(cut[None])[0]
+    assert not top_bottom_connected(cut.tolist())
+
+
+# ----------------------------------------------------------------------
+# Lattice truth tables vs the scalar 2^n loop
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(lattices())
+def test_lattice_truthtable_matches_scalar(lattice):
+    fast = lattice_truthtable(lattice)
+    slow = lattice.to_truth_table_scalar()
+    assert fast == slow
+    assert lattice.to_truth_table() == slow
+    assert implements_table(lattice, slow)
+
+
+@settings(max_examples=50, deadline=None)
+@given(lattices(), st.integers(0, 2 ** 32 - 1))
+def test_evaluate_assignments_matches_scalar(lattice, seed):
+    rng = random.Random(seed)
+    assignments = [rng.randrange(1 << lattice.n) for _ in range(8)]
+    got = evaluate_assignments(lattice, np.array(assignments))
+    want = [lattice.evaluate(a) for a in assignments]
+    assert got.tolist() == want
+    assert lattice.evaluate_batch(np.array(assignments)).tolist() == want
+
+
+@settings(max_examples=50, deadline=None)
+@given(lattices(max_side=3), st.integers(0, 2 ** 32 - 1))
+def test_overlays_match_scalar_site_override(lattice, seed):
+    """force_on/force_off agree with the scalar site_override hook."""
+    rng = random.Random(seed)
+    force_on = np.array([[rng.random() < 0.2 for _ in range(lattice.cols)]
+                         for _ in range(lattice.rows)])
+    force_off = np.array([[rng.random() < 0.2 for _ in range(lattice.cols)]
+                          for _ in range(lattice.rows)]) & ~force_on
+
+    def override(r, c, nominal):
+        if force_on[r, c]:
+            return True
+        if force_off[r, c]:
+            return False
+        return nominal
+
+    fast = lattice_truthtable(lattice, force_on=force_on,
+                              force_off=force_off)
+    for assignment in range(1 << lattice.n):
+        assert fast.evaluate(assignment) == \
+            lattice.evaluate(assignment, override)
+
+
+@settings(max_examples=40, deadline=None)
+@given(lattices(max_side=3), st.integers(0, 2 ** 32 - 1))
+def test_conduction_tensor_matches_scalar_grid(lattice, seed):
+    rng = random.Random(seed)
+    assignments = [rng.randrange(1 << lattice.n) for _ in range(4)]
+    tensor = conduction_tensor(lattice, np.array(assignments))
+    for b, assignment in enumerate(assignments):
+        assert tensor[b].tolist() == lattice.conduction_grid(assignment)
+
+
+# ----------------------------------------------------------------------
+# Placement validity vs the scalar predicate
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(fabrics(), st.data())
+def test_placement_valid_kernels_match_scalar(states, data):
+    rows, cols = states.shape
+    t_rows = data.draw(st.integers(1, rows))
+    t_cols = data.draw(st.integers(1, cols))
+    codes_list = data.draw(st.lists(st.integers(0, 2),
+                                    min_size=t_rows * t_cols,
+                                    max_size=t_rows * t_cols))
+    codes = np.array(codes_list, dtype=np.int8).reshape(t_rows, t_cols)
+    target = _target_from_codes(codes)
+    assert (lattice_site_codes(target) == codes).all()
+
+    defect_map = _defect_map_from_states(states)
+    assert (defect_map_states(defect_map) == states).all()
+
+    placements = []
+    for _ in range(4):
+        row_map = tuple(sorted(data.draw(
+            st.sets(st.integers(0, rows - 1), min_size=t_rows,
+                    max_size=t_rows))))
+        col_map = tuple(sorted(data.draw(
+            st.sets(st.integers(0, cols - 1), min_size=t_cols,
+                    max_size=t_cols))))
+        placements.append((row_map, col_map))
+
+    row_maps = np.array([p[0] for p in placements], dtype=np.int64)
+    col_maps = np.array([p[1] for p in placements], dtype=np.int64)
+    want = [placement_valid(target, defect_map, row_map, col_map)
+            for row_map, col_map in placements]
+
+    got_grid = placement_valid_grid(states, codes, row_maps, col_maps)
+    assert got_grid.tolist() == want
+
+    batch_states = np.broadcast_to(
+        states, (len(placements),) + states.shape).copy()
+    got_batch = placement_valid_batch(batch_states, codes, row_maps,
+                                      col_maps)
+    assert got_batch.tolist() == want
+
+
+# ----------------------------------------------------------------------
+# Batched labelling enumeration vs per-lattice evaluation
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 2), st.integers(1, 3), st.integers(1, 3),
+       st.integers(0, 2 ** 32 - 1))
+def test_evaluate_labellings_matches_lattice_eval(n, rows, cols, seed):
+    rng = random.Random(seed)
+    labels = []
+    for var in range(n):
+        labels.extend([Literal(var, True), Literal(var, False)])
+    labels.extend([True, False])
+    assignments = np.arange(1 << n)
+    label_values = np.array([
+        [lab.evaluate(int(a)) if isinstance(lab, Literal) else bool(lab)
+         for a in assignments]
+        for lab in labels
+    ])
+    grids = np.array([
+        [[rng.randrange(len(labels)) for _ in range(cols)]
+         for _ in range(rows)]
+        for _ in range(5)
+    ])
+    tables = evaluate_labellings(label_values, grids)
+    for l in range(5):
+        lattice = Lattice(n, [[labels[grids[l, r, c]] for c in range(cols)]
+                              for r in range(rows)])
+        assert tables[l].tolist() == \
+            lattice.to_truth_table_scalar().values.tolist()
