@@ -18,8 +18,12 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     # numpy is a hard runtime dependency: repro.reliability.variation and
-    # the repro.faultlab campaign engine are built on it.
-    install_requires=["numpy"],
+    # the repro.faultlab / repro.varsim campaign engines are built on it.
+    # Floor: >= 1.22 (Generator/SeedSequence APIs and axis-aware kernels the
+    # batched cores use).  numpy >= 2.0 is *not* required: the packed-bitset
+    # kernels prefer np.bitwise_count when present and select the
+    # unpackbits-based fallback in repro.boolean.bitops on 1.x at import.
+    install_requires=["numpy>=1.22"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
         # optional accelerator: repro.xbareval uses one scipy.ndimage.label

@@ -16,9 +16,11 @@ Sub-packages:
 * :mod:`repro.engine`      — parallel batch-synthesis engine
 * :mod:`repro.faultlab`    — vectorized Monte-Carlo fault-tolerance
   campaigns (Section IV at ensemble scale, ``nanoxbar faultsim``)
+* :mod:`repro.varsim`      — batched variation-aware Monte-Carlo delay
+  campaigns (Section IV variation tolerance, ``nanoxbar varsweep``)
 * :mod:`repro.xbareval`    — batched packed-bitset lattice evaluation core
-  (whole truth tables and placement sweeps per kernel call; the scalar
-  percolation checks remain as bit-exact references)
+  (whole truth tables, placement sweeps and shortest-path delay relaxation
+  per kernel call; the scalar references remain as bit-exact checks)
 
 Quickstart::
 

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .bitops import popcount_u64
 from .truthtable import TruthTable
 
 
@@ -82,7 +83,7 @@ def gf2_kernel(rows: Sequence[int], n: int) -> list[int]:
 def parity_table(n: int, mask: int, rhs: bool = False) -> TruthTable:
     """Truth table of the linear constraint ``XOR(x_i : i in mask) == rhs``."""
     idx = np.arange(1 << n, dtype=np.uint64)
-    par = np.bitwise_count(idx & np.uint64(mask)) & 1
+    par = popcount_u64(idx & np.uint64(mask)) & 1
     values = par == (1 if rhs else 0)
     return TruthTable(n, values)
 
@@ -134,7 +135,7 @@ class AffineSpace:
         idx = np.arange(1 << self.n, dtype=np.uint64)
         values = np.ones(1 << self.n, dtype=bool)
         for mask, rhs in self.constraints:
-            par = np.bitwise_count(idx & np.uint64(mask)) & 1
+            par = popcount_u64(idx & np.uint64(mask)) & 1
             values &= par == (1 if rhs else 0)
         return TruthTable(self.n, values)
 

@@ -44,7 +44,7 @@ from .jobs import (
     StrategyOutcome,
     SynthesisJob,
 )
-from .pool import chunk_size, default_processes, map_sharded
+from .pool import batch_sizes, chunk_size, default_processes, map_sharded
 from .store import JsonStore
 from .portfolio import (
     PortfolioConfig,
@@ -69,6 +69,7 @@ __all__ = [
     "SynthesisJob",
     "canonical_cache_key",
     "canonical_polarity_table",
+    "batch_sizes",
     "chunk_size",
     "default_processes",
     "known_strategies",

@@ -31,6 +31,21 @@ def chunk_size(num_tasks: int, processes: int) -> int:
     return max(1, -(-num_tasks // (2 * processes)))
 
 
+def batch_sizes(total: int, batch_size: int) -> list[int]:
+    """Deterministic batch layout: full batches, then the remainder.
+
+    The Monte-Carlo campaign runners (:mod:`repro.faultlab`,
+    :mod:`repro.varsim`) spawn one ``SeedSequence`` child per entry, so
+    this layout is part of each campaign's sampling identity.
+    """
+    if total < 0 or batch_size < 1:
+        raise ValueError("need total >= 0 and batch_size >= 1")
+    sizes = [batch_size] * (total // batch_size)
+    if total % batch_size:
+        sizes.append(total % batch_size)
+    return sizes
+
+
 def map_sharded(fn: Callable[[T], R], items: Sequence[T],
                 processes: int = 1) -> list[R]:
     """Order-preserving parallel map with graceful serial fallback."""

@@ -217,6 +217,48 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_varsweep(args: argparse.Namespace) -> int:
+    from ..synthesis import synthesize_lattice_dual
+    from ..varsim import VariationCampaignSpec, run_variation_campaign
+
+    try:
+        benchmark = by_name(args.bench)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    lattice = synthesize_lattice_dual(benchmark.function.on)
+    try:
+        spec = VariationCampaignSpec(
+            lattice=lattice,
+            sigmas=tuple(args.sigmas),
+            crossbar_rows=args.crossbar_rows,
+            crossbar_cols=args.crossbar_cols,
+            trials=args.trials,
+            seed=args.seed,
+            nominal=args.nominal,
+            batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    from ..engine import default_processes
+
+    store = None if args.no_cache else args.cache
+    processes = (default_processes() if args.processes == 0
+                 else args.processes)
+    try:
+        result = run_variation_campaign(spec, store=store,
+                                        processes=processes)
+    except sqlite3.DatabaseError as error:
+        print(f"error: cannot use campaign store {store!r}: {error}",
+              file=sys.stderr)
+        print(f"hint: delete {store!r} and rerun", file=sys.stderr)
+        return 1
+    print(f"benchmark {benchmark.name}: {benchmark.description}")
+    print(result.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nanoxbar",
@@ -305,6 +347,37 @@ def build_parser() -> argparse.ArgumentParser:
     faultsim.add_argument("--no-cache", action="store_true",
                           help="skip campaign persistence")
     faultsim.set_defaults(fn=_cmd_faultsim)
+
+    varsweep = sub.add_parser(
+        "varsweep",
+        help="run a variation-aware vs oblivious Monte-Carlo delay "
+             "campaign through the varsim engine")
+    varsweep.add_argument("--bench", default="xnor2",
+                          help="benchmark function to synthesize "
+                               "(dual-construction lattice; see `bench`)")
+    varsweep.add_argument("--sigmas", type=float, nargs="+",
+                          default=[0.1, 0.3, 0.6],
+                          help="lognormal variation strengths to sweep")
+    varsweep.add_argument("--crossbar-rows", type=int, default=16,
+                          help="physical crossbar rows the lattice is "
+                               "placed on")
+    varsweep.add_argument("--crossbar-cols", type=int, default=16,
+                          help="physical crossbar columns")
+    varsweep.add_argument("--trials", type=int, default=500,
+                          help="Monte-Carlo trials per sigma")
+    varsweep.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (bit-reproducible)")
+    varsweep.add_argument("--nominal", type=float, default=1.0,
+                          help="nominal crosspoint resistance")
+    varsweep.add_argument("--batch-size", type=int, default=128,
+                          help="trials per sharded worker batch")
+    varsweep.add_argument("--processes", type=int, default=1,
+                          help="worker processes (0 = auto)")
+    varsweep.add_argument("--cache", default=".nanoxbar-campaigns.sqlite",
+                          help="persistent campaign-store path")
+    varsweep.add_argument("--no-cache", action="store_true",
+                          help="skip campaign persistence")
+    varsweep.set_defaults(fn=_cmd_varsweep)
     return parser
 
 

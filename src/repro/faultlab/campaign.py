@@ -31,7 +31,7 @@ from itertools import product
 
 import numpy as np
 
-from ..engine.pool import map_sharded
+from ..engine.pool import batch_sizes, map_sharded
 from ..engine.store import JsonStore
 from .kernels import recovered_k_batch, recovered_k_exact_batch
 from .maps import bernoulli_defect_batch, clustered_defect_batch
@@ -285,13 +285,6 @@ def _point_batch_task(task: tuple) -> tuple[int, ...]:
     return tuple(int(x) for x in np.bincount(ks, minlength=n + 1))
 
 
-def _batch_sizes(trials: int, batch_size: int) -> list[int]:
-    sizes = [batch_size] * (trials // batch_size)
-    if trials % batch_size:
-        sizes.append(trials % batch_size)
-    return sizes
-
-
 def _valid_payload(payload, point: CampaignPoint) -> bool:
     if not isinstance(payload, dict):
         return False
@@ -337,7 +330,7 @@ def _run_campaign(spec: CampaignSpec, store: JsonStore | None,
                 point, tuple(payload["k_histogram"]), cache_hit=True)
             continue
         root = np.random.SeedSequence(point.entropy())
-        sizes = _batch_sizes(point.trials, point.batch_size)
+        sizes = batch_sizes(point.trials, point.batch_size)
         for child, batch_trials in zip(root.spawn(len(sizes)), sizes):
             tasks.append((point.model, point.n, point.density,
                           point.strategy, point.stuck_open_fraction,

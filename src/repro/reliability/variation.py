@@ -13,6 +13,12 @@ model is a lognormal resistance per junction.  The module provides:
   lowest resistance budget instead of arbitrary ones, and compare the
   resulting delay distributions (the "variation tolerance ensures
   predictability and performance" claim).
+
+These are the scalar, one-chip-at-a-time references.  The batched
+production path — `(trials, rows, cols)` resistance ensembles, vectorized
+selection and Bellman-Ford delay relaxation, sharded campaign runs — is
+:mod:`repro.varsim` (built on :mod:`repro.xbareval.delay`); every varsim
+kernel is validated against the functions in this module.
 """
 
 from __future__ import annotations
@@ -114,11 +120,21 @@ def best_path_delay(conduction: list[list[bool]],
 
 def lattice_critical_delay(lattice: Lattice, variation: VariationMap,
                            table: TruthTable | None = None) -> float:
-    """Worst-case best-path delay over the on-set of the lattice function."""
+    """Worst-case best-path delay over the on-set of the lattice function.
+
+    Raises:
+        ValueError: for a constant-0 function (empty on-set) — there is no
+            conducting input, so "critical delay" is undefined and a
+            silent ``0.0`` would read as an infinitely fast array.
+    """
     if variation.rows != lattice.rows or variation.cols != lattice.cols:
         raise ValueError("variation map shape must match the lattice")
     if table is None:
         table = lattice.to_truth_table()
+    if table.count_ones() == 0:
+        raise ValueError(
+            "critical delay is undefined for a constant-0 function: "
+            "the lattice conducts for no input (empty on-set)")
     worst = 0.0
     for m in table.minterms():
         delay = best_path_delay(lattice.conduction_grid(m), variation.resistance)
@@ -145,11 +161,18 @@ def diode_row_delay(program: Sequence[Sequence[bool]],
 # ----------------------------------------------------------------------
 def variation_aware_selection(variation: VariationMap, app_rows: int,
                               app_cols: int) -> tuple[list[int], list[int]]:
-    """Pick the physical lines with the smallest resistance budgets."""
+    """Pick the physical lines with the smallest resistance budgets.
+
+    Ties are broken by physical line index (``kind="stable"``), so the
+    selected set is bit-reproducible across numpy builds — the default
+    introsort picks platform-dependent lines on tied budgets, which made
+    seeded sweeps non-deterministic.  The batched counterpart is
+    :func:`repro.varsim.variation_aware_selection_batch`.
+    """
     row_budget = variation.resistance.sum(axis=1)
     col_budget = variation.resistance.sum(axis=0)
-    rows = sorted(np.argsort(row_budget)[:app_rows].tolist())
-    cols = sorted(np.argsort(col_budget)[:app_cols].tolist())
+    rows = sorted(np.argsort(row_budget, kind="stable")[:app_rows].tolist())
+    cols = sorted(np.argsort(col_budget, kind="stable")[:app_cols].tolist())
     return rows, cols
 
 
@@ -185,10 +208,18 @@ def variation_sweep(lattice: Lattice, sigmas: Sequence[float],
 
     The lattice is placed on a larger crossbar; the selected physical
     sub-grid's resistances determine the critical delay.
+
+    This is the scalar reference loop (one lognormal map, one Dijkstra per
+    minterm per trial); the batched production path is
+    :func:`repro.varsim.run_variation_campaign`.
     """
     if crossbar_rows < lattice.rows or crossbar_cols < lattice.cols:
         raise ValueError("crossbar smaller than the lattice")
     table = lattice.to_truth_table()
+    if table.count_ones() == 0:
+        raise ValueError(
+            "variation sweep is undefined for a constant-0 lattice: "
+            "critical delay has no conducting on-set input")
     points = []
     for sigma in sigmas:
         aware_delays = []

@@ -15,7 +15,10 @@ batches at once:
   loop over assignments;
 * :mod:`~repro.xbareval.placement` — batched defect-aware placement
   validity (one placement per fabric of an ensemble, or many placements
-  against one fabric).
+  against one fabric);
+* :mod:`~repro.xbareval.delay` — batched node-weighted shortest-path
+  delay (vectorized Bellman-Ford over conduction x resistance tensors),
+  the Section IV variation-delay model behind :mod:`repro.varsim`.
 
 The scalar functions stay in place as bit-exact references; the property
 suite (``tests/test_xbareval.py``) asserts agreement on every kernel, and
@@ -29,6 +32,12 @@ from .connectivity import (
     left_right_blocked_8_batch,
     percolation_duality_holds_batch,
     top_bottom_connected_batch,
+)
+from .delay import (
+    CHUNK_GRIDS,
+    best_path_delay_batch,
+    lattice_critical_delay_batch,
+    onset_critical_delay_batch,
 )
 from .lattice_eval import (
     CHUNK_ASSIGNMENTS,
@@ -51,17 +60,21 @@ from .placement import (
 
 __all__ = [
     "CHUNK_ASSIGNMENTS",
+    "CHUNK_GRIDS",
     "SITE_CONST0",
     "SITE_CONST1",
     "SITE_LITERAL",
+    "best_path_delay_batch",
     "conduction_tensor",
     "defect_map_states",
     "evaluate_assignments",
     "evaluate_labellings",
     "implements_table",
+    "lattice_critical_delay_batch",
     "lattice_site_codes",
     "lattice_truthtable",
     "left_right_blocked_8_batch",
+    "onset_critical_delay_batch",
     "percolation_duality_holds_batch",
     "placement_valid_batch",
     "placement_valid_grid",

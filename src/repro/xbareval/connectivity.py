@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..boolean.bitops import popcount_u64
+
 try:  # optional accelerator: one C-level label pass for a whole batch
     from scipy import ndimage as _ndimage
 except ImportError:  # pragma: no cover - scipy is present in CI/dev images
@@ -91,7 +93,7 @@ def _top_bottom_connected_packed(grids: np.ndarray) -> np.ndarray:
     # The reach set grows monotonically, so its total popcount doubles as
     # a copy-free fixpoint detector; once every grid has touched the
     # bottom row the remaining closure cannot change any verdict.
-    size = int(np.bitwise_count(reach).sum())
+    size = int(popcount_u64(reach).sum())
     while True:
         _fill_down(reach, g, rows)
         _fill_up(reach, g, rows)
@@ -101,7 +103,7 @@ def _top_bottom_connected_packed(grids: np.ndarray) -> np.ndarray:
             reach[:, c] |= reach[:, c + 1] & g[:, c]
         if (((reach & bottom) != 0).any(axis=1)).all():
             break  # every grid has touched the bottom row somewhere
-        grown = int(np.bitwise_count(reach).sum())
+        grown = int(popcount_u64(reach).sum())
         if grown == size:
             break
         size = grown
