@@ -178,7 +178,7 @@ class Bdd:
     def from_cube(self, cube: Cube) -> int:
         """Build the conjunction of a cube's literals."""
         result = self.TRUE
-        for lit in sorted(cube.literals(), key=lambda l: -l.var):
+        for lit in sorted(cube.literals(), key=lambda literal: -literal.var):
             result = self.conj(self.var_node(lit.var, lit.positive), result)
         return result
 

@@ -316,7 +316,7 @@ def _expand_cube(cube: Cube, allowed: TruthTable) -> Cube:
     improved = True
     while improved:
         improved = False
-        for lit in sorted(current.literals(), key=lambda l: l.var):
+        for lit in sorted(current.literals(), key=lambda literal: literal.var):
             candidate = current.remove_variable(lit.var)
             if _cube_table(allowed.n, candidate).implies(allowed):
                 current = candidate

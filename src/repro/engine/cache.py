@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -230,18 +231,25 @@ class ResultCache:
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path)
-        self._conn.execute(self._SCHEMA)
-        self._conn.commit()
+        # check_same_thread=False + RLock: the BatchEngine's non-blocking
+        # submit path runs batches on a dedicated executor thread while
+        # other threads (e.g. the server's stats endpoint) may probe the
+        # same connection; every statement takes the lock.
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute(self._SCHEMA)
+            self._conn.commit()
 
     # -- mapping interface ------------------------------------------------
     def get(self, n: int, canon: str, polarity: bool,
             config: str) -> CachedResult | None:
-        row = self._conn.execute(
-            "SELECT strategy, lattice, outcomes FROM results"
-            " WHERE n = ? AND canon = ? AND polarity = ? AND config = ?",
-            (n, canon, int(polarity), config),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT strategy, lattice, outcomes FROM results"
+                " WHERE n = ? AND canon = ? AND polarity = ? AND config = ?",
+                (n, canon, int(polarity), config),
+            ).fetchone()
         if row is None:
             return None
         strategy, lattice_text, outcomes_text = row
@@ -265,28 +273,33 @@ class ResultCache:
                  ) -> None:
         """Persist a batch of entries in a single transaction/fsync."""
         now = time.time()
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO results"
-            " (n, canon, polarity, config,"
-            "  strategy, area, lattice, outcomes, created)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            [(n, canon, int(polarity), config, result.strategy, result.area,
-              lattice_to_text(result.lattice),
-              _outcomes_to_json(result.outcomes), now)
-             for n, canon, polarity, config, result in entries],
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results"
+                " (n, canon, polarity, config,"
+                "  strategy, area, lattice, outcomes, created)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(n, canon, int(polarity), config, result.strategy,
+                  result.area, lattice_to_text(result.lattice),
+                  _outcomes_to_json(result.outcomes), now)
+                 for n, canon, polarity, config, result in entries],
+            )
+            self._conn.commit()
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()
         return int(count)
 
     def clear(self) -> None:
-        self._conn.execute("DELETE FROM results")
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ResultCache":
         return self

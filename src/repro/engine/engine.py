@@ -21,8 +21,10 @@ deterministic, so serial and pooled runs return bit-identical results.
 from __future__ import annotations
 
 import random
+import threading
 import time
 import zlib
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Iterable, Sequence
@@ -67,6 +69,20 @@ class EngineStats:
     def throughput(self) -> float:
         """Functions per second over the accounted runs."""
         return self.jobs / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot (the server's ``/api/stats`` payload)."""
+        return {
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "races_run": self.races_run,
+            "deduped": self.deduped,
+            "elapsed": self.elapsed,
+            "hit_rate": self.hit_rate,
+            "throughput": self.throughput,
+            "strategy_wins": dict(sorted(self.strategy_wins.items())),
+        }
 
     def render(self) -> str:
         wins = ", ".join(f"{name}:{count}"
@@ -151,9 +167,16 @@ class BatchEngine:
         self.processes = default_processes() if processes is None else processes
         self.config = config or PortfolioConfig()
         self.stats = EngineStats()
+        self._run_lock = threading.RLock()
+        # Eagerly constructed (the worker thread itself only spawns on
+        # first submit), so concurrent first submissions cannot race a
+        # lazy check-then-set into two executors.
+        self._submit_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="batch-engine")
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:
+        self._submit_executor.shutdown(wait=True)
         self.cache.close()
 
     def __enter__(self) -> "BatchEngine":
@@ -163,10 +186,26 @@ class BatchEngine:
         self.close()
 
     # -- the batch pipeline ----------------------------------------------
+    def submit(self, jobs: Sequence[SynthesisJob] | Iterable[SynthesisJob]
+               ) -> "Future[list[JobResult]]":
+        """Non-blocking submission: queue a batch, get a ``Future`` back.
+
+        Batches are serialised through a single dedicated worker thread
+        (they already shard internally over the process pool, so stacking
+        batch-level threads on top would only contend on the cache
+        connection).  Callers — the async server's worker bridge first
+        among them — can await the future off their event loop while
+        further submissions queue behind it.
+        """
+        return self._submit_executor.submit(self.run, list(jobs))
+
     def run(self, jobs: Sequence[SynthesisJob] | Iterable[SynthesisJob]
             ) -> list[JobResult]:
         """Synthesize every job, reusing the cache and the pool."""
-        jobs = list(jobs)
+        with self._run_lock:
+            return self._run(list(jobs))
+
+    def _run(self, jobs: list[SynthesisJob]) -> list[JobResult]:
         start = time.perf_counter()
 
         # Phase 1: canonicalise + probe the cache.  The NPN canonical key

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Sequence, TypeVar
+import threading
+from typing import Callable, Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -46,6 +47,41 @@ def batch_sizes(total: int, batch_size: int) -> list[int]:
     return sizes
 
 
+#: Modules the forkserver warms up once, so every later worker fork starts
+#: with numpy and the campaign kernels already imported.
+_FORKSERVER_PRELOAD = [
+    "repro.engine.engine",
+    "repro.faultlab.campaign",
+    "repro.varsim.campaign",
+]
+
+
+def _pool_context():
+    """Pick a start method that is safe for the calling process.
+
+    ``fork`` is the fast default for single-threaded callers (the CLI
+    runners).  Forking a *multi-threaded* process — the asyncio batch
+    server's worker threads, first of all — is a deadlock lottery: the
+    child inherits whatever mutexes other threads held at fork time.
+    Those callers get ``forkserver`` (workers fork from a clean,
+    single-threaded helper that was itself started via fork+exec), or
+    ``spawn`` where no forkserver exists.  Results are bit-identical
+    under every method: workers are pure functions of their pickled
+    task tuples.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if threading.active_count() > 1:
+        if "forkserver" in methods:
+            ctx = multiprocessing.get_context("forkserver")
+            # No-op once the forkserver is running; cheap before that.
+            ctx.set_forkserver_preload(_FORKSERVER_PRELOAD)
+            return ctx
+        return multiprocessing.get_context("spawn")
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
 def map_sharded(fn: Callable[[T], R], items: Sequence[T],
                 processes: int = 1) -> list[R]:
     """Order-preserving parallel map with graceful serial fallback."""
@@ -53,10 +89,7 @@ def map_sharded(fn: Callable[[T], R], items: Sequence[T],
     if processes <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     workers = min(processes, len(items))
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:
-        ctx = multiprocessing.get_context()
+    ctx = _pool_context()
     try:
         pool = ctx.Pool(workers)
     except (OSError, PermissionError, RuntimeError, ImportError):
@@ -68,3 +101,34 @@ def map_sharded(fn: Callable[[T], R], items: Sequence[T],
         return [fn(item) for item in items]
     with pool:
         return pool.map(fn, items, chunksize=chunk_size(len(items), workers))
+
+
+def iter_sharded(fn: Callable[[T], R], items: Sequence[T],
+                 processes: int = 1) -> Iterator[R]:
+    """Order-preserving parallel map, yielded lazily as results land.
+
+    The streaming sibling of :func:`map_sharded` for the campaign
+    iterators: one pool serves the whole task list, workers pull tasks
+    ahead of the consumer (``imap``), and results come back in input
+    order — so the consumer can aggregate and yield grid point ``i``
+    while the pool is already sampling point ``i+1``.  Serial execution
+    (``processes <= 1`` or an unavailable pool) degrades to a plain lazy
+    generator with identical results.
+    """
+    items = list(items)
+    if processes <= 1 or len(items) <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    workers = min(processes, len(items))
+    ctx = _pool_context()
+    try:
+        pool = ctx.Pool(workers)
+    except (OSError, PermissionError, RuntimeError, ImportError):
+        for item in items:
+            yield fn(item)
+        return
+    # ``with pool`` terminates workers even when the consumer abandons
+    # the generator mid-campaign (generator .close() runs the finally).
+    with pool:
+        yield from pool.imap(fn, items, chunksize=1)

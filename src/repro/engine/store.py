@@ -14,14 +14,41 @@ gives them one table with the cache layer's conventions:
 Both stores can share one SQLite file: they own distinct tables, so a
 single ``results.sqlite`` can hold the synthesis cache *and* every
 campaign estimate.
+
+Concurrency contract (the async server's handlers and pool shards persist
+points against one shared store):
+
+* every write is **atomic** — SQLite's transaction machinery stages each
+  commit in a side journal and publishes it with an atomic rename-style
+  page swap (the database-level equivalent of write-temp + ``os.replace``),
+  so readers never observe a half-written payload and a crash mid-write
+  leaves the previous committed state intact;
+* the store is **thread-safe**: one connection guarded by an RLock
+  (``check_same_thread=False``), so asyncio executor threads can share it;
+* it is **tolerant of concurrent writers** across processes: file-backed
+  stores run in WAL journal mode (readers never block writers), a busy
+  timeout waits out lock contention, and transiently locked commits are
+  retried with backoff instead of surfacing to the campaign runner.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from typing import Any
+
+#: How long one connection waits on a cross-process lock before raising.
+_BUSY_TIMEOUT = 10.0
+
+#: Bounded retry schedule (seconds) for transiently locked commits.
+_RETRY_DELAYS = (0.05, 0.1, 0.2, 0.4)
+
+
+def _is_transient(error: sqlite3.OperationalError) -> bool:
+    text = str(error).lower()
+    return "locked" in text or "busy" in text
 
 
 class JsonStore:
@@ -37,15 +64,40 @@ class JsonStore:
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path)
-        self._conn.execute(self._SCHEMA)
-        self._conn.commit()
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, timeout=_BUSY_TIMEOUT,
+                                     check_same_thread=False)
+        if path != ":memory:":
+            # WAL lets concurrent readers proceed while a writer commits;
+            # memory stores reject it (and have no concurrent processes).
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._execute_with_retry(self._SCHEMA, commit=True)
+
+    def _execute_with_retry(self, sql: str, rows: list[tuple] | None = None,
+                            commit: bool = False) -> None:
+        """Run one write, retrying bounded times on cross-writer lock noise."""
+        with self._lock:
+            for attempt, delay in enumerate((*_RETRY_DELAYS, None)):
+                try:
+                    if rows is None:
+                        self._conn.execute(sql)
+                    else:
+                        self._conn.executemany(sql, rows)
+                    if commit:
+                        self._conn.commit()
+                    return
+                except sqlite3.OperationalError as error:
+                    self._conn.rollback()
+                    if delay is None or not _is_transient(error):
+                        raise
+                    time.sleep(delay)
 
     # -- mapping interface ------------------------------------------------
     def get(self, key: str) -> Any | None:
-        row = self._conn.execute(
-            "SELECT payload FROM json_store WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM json_store WHERE key = ?", (key,)
+            ).fetchone()
         if row is None:
             return None
         try:
@@ -59,27 +111,28 @@ class JsonStore:
         self.put_many([(key, payload)])
 
     def put_many(self, entries: list[tuple[str, Any]]) -> None:
-        """Persist a batch of entries in a single transaction/fsync."""
+        """Persist a batch of entries in a single atomic transaction."""
         now = time.time()
-        self._conn.executemany(
+        self._execute_with_retry(
             "INSERT OR REPLACE INTO json_store (key, payload, created)"
             " VALUES (?, ?, ?)",
-            [(key, json.dumps(payload, sort_keys=True), now)
-             for key, payload in entries],
+            rows=[(key, json.dumps(payload, sort_keys=True), now)
+                  for key, payload in entries],
+            commit=True,
         )
-        self._conn.commit()
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute(
-            "SELECT COUNT(*) FROM json_store").fetchone()
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM json_store").fetchone()
         return int(count)
 
     def clear(self) -> None:
-        self._conn.execute("DELETE FROM json_store")
-        self._conn.commit()
+        self._execute_with_retry("DELETE FROM json_store", commit=True)
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "JsonStore":
         return self

@@ -7,11 +7,14 @@
     nanoxbar run fig5 --fast      # reduced sweep
     nanoxbar all --fast           # everything
     nanoxbar bench xnor2          # inspect one benchmark function
+    nanoxbar serve                # start the async batch server
+    nanoxbar submit ...           # drive a running server
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sqlite3
 import sys
 
@@ -259,6 +262,111 @@ def _cmd_varsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from ..engine import default_processes
+    from ..server import BatchServer
+
+    cache_path = ":memory:" if args.no_cache else args.cache
+    processes = (default_processes() if args.processes == 0
+                 else args.processes)
+    server = BatchServer(host=args.host, port=args.port,
+                         cache_path=cache_path, processes=processes,
+                         job_workers=args.job_workers)
+
+    async def main() -> None:
+        await server.start()
+        print(f"nanoxbar server listening on "
+              f"http://{server.host}:{server.port} "
+              f"(cache={cache_path}, processes={processes}, "
+              f"job_workers={args.job_workers})", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX loop; ctrl-C still raises KeyboardInterrupt
+        await server.serve_forever()
+        print("nanoxbar server stopped", flush=True)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+    except OSError as error:
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    if args.kind == "synthesis":
+        return {"kind": "synthesis",
+                "jobs": [{"bench": name} for name in args.benches]}
+    if args.kind == "faultsim":
+        n_max = max(args.n)
+        k_values = args.k or sorted({max(1, n_max // 2),
+                                     max(1, 3 * n_max // 4), n_max})
+        return {"kind": "faultsim", "n_values": args.n,
+                "k_values": list(k_values), "densities": args.densities,
+                "trials": args.trials, "seed": args.seed,
+                "batch_size": args.batch_size}
+    return {"kind": "varsweep", "bench": args.bench, "sigmas": args.sigmas,
+            "crossbar_rows": args.crossbar_rows,
+            "crossbar_cols": args.crossbar_cols, "trials": args.trials,
+            "seed": args.seed, "batch_size": args.batch_size}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from http.client import HTTPException
+
+    from ..server.client import ServerClient, ServerError
+
+    client = ServerClient(args.host, args.port, timeout=args.timeout)
+    payload = _submit_payload(args)
+    try:
+        # Tolerate a server that is still binding its port (the CI smoke
+        # backgrounds `nanoxbar serve` and submits immediately).
+        client.wait_healthy(deadline=args.wait_server)
+        submitted = client.submit(payload)
+        job_id = submitted["job_id"]
+        print(f"job {job_id}  "
+              f"({'coalesced' if submitted['coalesced'] else 'new'}, "
+              f"{submitted['points_total']} points)")
+        if args.stream:
+            for record in client.stream(job_id):
+                print(json.dumps(record, sort_keys=True))
+        result = client.result(job_id)
+        if result["state"] != "done":
+            print(f"error: job {job_id} {result['state']}: "
+                  f"{result['error']}", file=sys.stderr)
+            return 1
+        if not args.stream:
+            for record in result["points"]:
+                print(json.dumps(record, sort_keys=True))
+        if args.shutdown:
+            client.shutdown()
+            client.wait_stopped()
+            print("server stopped")
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Our stdout reader went away (e.g. `submit ... | head`); the
+        # conventional quiet exit, not a server-connectivity failure.
+        return 0
+    except (OSError, HTTPException) as error:
+        # HTTPException covers a server dying mid-exchange (e.g.
+        # IncompleteRead while streaming a chunked response).
+        print(f"error: cannot reach server at "
+              f"{args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nanoxbar",
@@ -378,6 +486,74 @@ def build_parser() -> argparse.ArgumentParser:
     varsweep.add_argument("--no-cache", action="store_true",
                           help="skip campaign persistence")
     varsweep.set_defaults(fn=_cmd_varsweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the async HTTP/JSON batch server fronting the "
+             "engine, faultlab and varsim workload families")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--cache", default=".nanoxbar-server.sqlite",
+                       help="one SQLite file backing the synthesis cache "
+                            "and the campaign store")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="use ephemeral in-memory stores")
+    serve.add_argument("--processes", type=int, default=1,
+                       help="pool width each job shards over (0 = auto)")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="how many jobs may compute concurrently")
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running nanoxbar server and print its "
+             "per-point results")
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="server address")
+    submit.add_argument("--port", type=int, default=8351,
+                        help="server port")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request timeout in seconds")
+    submit.add_argument("--wait-server", type=float, default=10.0,
+                        help="seconds to wait for the server to come up "
+                             "before the first request")
+    submit.add_argument("--kind", default="synthesis",
+                        choices=["synthesis", "faultsim", "varsweep"],
+                        help="workload family to submit")
+    submit.add_argument("--stream", action="store_true",
+                        help="stream per-point records as they complete "
+                             "(chunked endpoint) instead of waiting")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to stop after the results "
+                             "arrive (smoke tests)")
+    submit.add_argument("--benches", nargs="+", default=["xnor2"],
+                        help="[synthesis] benchmark functions to "
+                             "synthesize")
+    submit.add_argument("--bench", default="xnor2",
+                        help="[varsweep] benchmark function to sweep")
+    submit.add_argument("--n", type=int, nargs="+", default=[8],
+                        help="[faultsim] crossbar sizes N")
+    submit.add_argument("--k", type=int, nargs="+", default=None,
+                        help="[faultsim] clean-square thresholds")
+    submit.add_argument("--densities", type=float, nargs="+",
+                        default=[0.05],
+                        help="[faultsim] defect densities")
+    submit.add_argument("--sigmas", type=float, nargs="+",
+                        default=[0.2, 0.5],
+                        help="[varsweep] variation strengths")
+    submit.add_argument("--crossbar-rows", type=int, default=8,
+                        help="[varsweep] physical crossbar rows")
+    submit.add_argument("--crossbar-cols", type=int, default=8,
+                        help="[varsweep] physical crossbar columns")
+    submit.add_argument("--trials", type=int, default=100,
+                        help="[campaigns] Monte-Carlo trials per point")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="[campaigns] campaign seed")
+    submit.add_argument("--batch-size", type=int, default=50,
+                        help="[campaigns] trials per sharded batch")
+    submit.set_defaults(fn=_cmd_submit)
     return parser
 
 

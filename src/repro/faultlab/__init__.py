@@ -44,12 +44,15 @@ from .campaign import (
     CampaignResult,
     CampaignSpec,
     PointEstimate,
+    iter_campaign,
     run_campaign,
 )
-from .kernels import (
+from ..xbareval.placement import (
     SITE_CONST0,
     SITE_CONST1,
     SITE_LITERAL,
+)
+from .kernels import (
     clean_feasibility_batch,
     greedy_clean_subarray_batch,
     map_lattice_random_batch,
@@ -90,6 +93,7 @@ __all__ = [
     "clean_feasibility_batch",
     "clustered_defect_batch",
     "greedy_clean_subarray_batch",
+    "iter_campaign",
     "map_lattice_random_batch",
     "placement_valid_batch",
     "recovered_k_batch",

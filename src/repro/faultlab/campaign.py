@@ -10,10 +10,15 @@ of sampled chips per grid point:
   model, strategy, trial count, seed);
 * :class:`CampaignPoint` — one sampled ensemble (every ``k`` threshold is
   answered from the same ensemble's recovered-``k`` histogram);
-* :func:`run_campaign` — expands the grid, shards trial batches through
-  :func:`repro.engine.pool.map_sharded`, aggregates per-point histograms
-  and persists them in the engine's :class:`~repro.engine.store.JsonStore`
-  keyed by ``(model, N, density, strategy, trials, seed, ...)``.
+* :func:`iter_campaign` — the streaming core: expands the grid, shards
+  each point's trial batches through
+  :func:`repro.engine.pool.map_sharded`, persists its histogram in the
+  engine's :class:`~repro.engine.store.JsonStore` keyed by
+  ``(model, N, density, strategy, trials, seed, ...)`` and **yields** the
+  :class:`PointEstimate` as soon as the point completes — the batch
+  server streams these to clients incrementally;
+* :func:`run_campaign` — drains the iterator into an aggregate
+  :class:`CampaignResult`.
 
 Determinism: each point's RNG root is a ``SeedSequence`` over the campaign
 seed plus a *content* hash of the point (never its grid position), and
@@ -31,7 +36,7 @@ from itertools import product
 
 import numpy as np
 
-from ..engine.pool import batch_sizes, map_sharded
+from ..engine.pool import batch_sizes, iter_sharded
 from ..engine.store import JsonStore
 from .kernels import recovered_k_batch, recovered_k_exact_batch
 from .maps import bernoulli_defect_batch, clustered_defect_batch
@@ -295,78 +300,94 @@ def _valid_payload(payload, point: CampaignPoint) -> bool:
             and sum(histogram) == point.trials)
 
 
-def run_campaign(spec: CampaignSpec,
-                 store: JsonStore | str | None = None,
-                 processes: int = 1) -> CampaignResult:
-    """Run a campaign: probe the store, shard the misses, persist, report.
+def _point_tasks(point: CampaignPoint) -> list[tuple]:
+    """One worker task per seeded trial batch of this grid point."""
+    root = np.random.SeedSequence(point.entropy())
+    sizes = batch_sizes(point.trials, point.batch_size)
+    return [
+        (point.model, point.n, point.density, point.strategy,
+         point.stuck_open_fraction, batch_trials, child)
+        for child, batch_trials in zip(root.spawn(len(sizes)), sizes)
+    ]
+
+
+def iter_campaign(spec: CampaignSpec,
+                  store: JsonStore | str | None = None,
+                  processes: int = 1):
+    """Yield one :class:`PointEstimate` per grid point as it completes.
+
+    The streaming face of the runner: the batch server forwards each
+    estimate to its clients the moment the point's trials are in, and
+    every fresh point is persisted before it is yielded (an interrupted
+    campaign resumes from the store).  Point order matches
+    :meth:`CampaignSpec.points`.  Batch seeds are content-addressed
+    (never position-based), so streamed estimates are bit-identical to
+    the aggregate runner's, serial or pooled — and the pooled path keeps
+    the whole grid's batches in flight at once
+    (:func:`repro.engine.pool.iter_sharded`): workers sample point
+    ``i+1`` while point ``i`` is being yielded.
 
     Args:
         store: a :class:`~repro.engine.store.JsonStore`, a path to open one
-            at (closed again before returning), or ``None`` for no
+            at (closed when the iterator is exhausted), or ``None`` for no
             persistence.
-        processes: worker count for :func:`repro.engine.pool.map_sharded`
-            (``1`` = serial; results are bit-identical either way).
+        processes: worker count (``1`` = serial; results are
+            bit-identical either way).
     """
     owned = isinstance(store, str)
     json_store: JsonStore | None = JsonStore(store) if owned else store
     try:
-        return _run_campaign(spec, json_store, processes)
+        yield from _iter_campaign(spec, json_store, processes)
     finally:
         if owned and json_store is not None:
             json_store.close()
 
 
-def _run_campaign(spec: CampaignSpec, store: JsonStore | None,
-                  processes: int) -> CampaignResult:
-    start = time.perf_counter()
-    points = spec.points()
-    cached: dict[int, PointEstimate] = {}
+def _iter_campaign(spec: CampaignSpec, store: JsonStore | None,
+                   processes: int):
+    # Plan the whole grid first (store probes are cheap reads), so one
+    # shared pool can pipeline every fresh batch across points.
+    plans: list[tuple[CampaignPoint, PointEstimate | None, int]] = []
     tasks: list[tuple] = []
-    task_owner: list[int] = []
-    for index, point in enumerate(points):
+    for point in spec.points():
         payload = store.get(point.key()) if store is not None else None
         if payload is not None and _valid_payload(payload, point):
-            cached[index] = PointEstimate(
-                point, tuple(payload["k_histogram"]), cache_hit=True)
+            plans.append((point, PointEstimate(
+                point, tuple(payload["k_histogram"]), cache_hit=True), 0))
             continue
-        root = np.random.SeedSequence(point.entropy())
-        sizes = batch_sizes(point.trials, point.batch_size)
-        for child, batch_trials in zip(root.spawn(len(sizes)), sizes):
-            tasks.append((point.model, point.n, point.density,
-                          point.strategy, point.stuck_open_fraction,
-                          batch_trials, child))
-            task_owner.append(index)
+        point_tasks = _point_tasks(point)
+        tasks.extend(point_tasks)
+        plans.append((point, None, len(point_tasks)))
 
-    histograms = map_sharded(_point_batch_task, tasks, processes)
-    fresh: dict[int, np.ndarray] = {}
-    for index, histogram in zip(task_owner, histograms):
-        accumulator = fresh.get(index)
-        if accumulator is None:
-            fresh[index] = np.array(histogram, dtype=np.int64)
-        else:
-            accumulator += np.array(histogram, dtype=np.int64)
-
-    estimates: list[PointEstimate] = []
-    new_entries: list[tuple[str, dict]] = []
-    trials_sampled = 0
-    for index, point in enumerate(points):
-        if index in cached:
-            estimates.append(cached[index])
+    results = iter_sharded(_point_batch_task, tasks, processes)
+    for point, cached, task_count in plans:
+        if cached is not None:
+            yield cached
             continue
-        histogram = tuple(int(x) for x in fresh[index])
-        estimates.append(PointEstimate(point, histogram, cache_hit=False))
-        trials_sampled += point.trials
-        new_entries.append((point.key(), {
-            "k_histogram": list(histogram),
-            "trials": point.trials,
-        }))
-    if store is not None and new_entries:
-        store.put_many(new_entries)
+        accumulator = np.zeros(point.n + 1, dtype=np.int64)
+        for _ in range(task_count):
+            accumulator += np.array(next(results), dtype=np.int64)
+        estimate = PointEstimate(point, tuple(int(x) for x in accumulator),
+                                 cache_hit=False)
+        if store is not None:
+            store.put(point.key(), {
+                "k_histogram": list(estimate.k_histogram),
+                "trials": point.trials,
+            })
+        yield estimate
 
+
+def run_campaign(spec: CampaignSpec,
+                 store: JsonStore | str | None = None,
+                 processes: int = 1) -> CampaignResult:
+    """Run a whole campaign through :func:`iter_campaign` and aggregate."""
+    start = time.perf_counter()
+    estimates = list(iter_campaign(spec, store, processes))
     return CampaignResult(
         spec=spec,
         estimates=estimates,
         elapsed=time.perf_counter() - start,
-        cache_hits=len(cached),
-        trials_sampled=trials_sampled,
+        cache_hits=sum(1 for est in estimates if est.cache_hit),
+        trials_sampled=sum(est.point.trials for est in estimates
+                           if not est.cache_hit),
     )

@@ -27,12 +27,7 @@ import numpy as np
 
 from ..crossbar.lattice import Lattice
 from ..xbareval import placement_valid_batch as _placement_valid_batch
-from ..xbareval.placement import (
-    SITE_CONST0,
-    SITE_CONST1,
-    SITE_LITERAL,
-    lattice_site_codes,
-)
+from ..xbareval.placement import lattice_site_codes
 from .maps import DefectBatch
 
 

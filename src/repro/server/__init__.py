@@ -1,0 +1,65 @@
+"""Async batch-serving front-end for the three workload families.
+
+The ROADMAP north-star is a production-scale service; this package is its
+front door.  ``nanoxbar serve`` exposes the :mod:`repro.engine` synthesis
+batches, :mod:`repro.faultlab` fault campaigns and :mod:`repro.varsim`
+variation campaigns as one stdlib-only asyncio HTTP/JSON server:
+
+* :mod:`repro.server.protocol` — the JSON vocabulary and the
+  content-addressed coalesce keys (``TruthTable.content_hash`` /
+  campaign point keys);
+* :mod:`repro.server.queue`    — the async job queue; concurrent
+  identical submissions share one computation;
+* :mod:`repro.server.worker`   — the bridge running pool-sharded jobs
+  off the event loop, streaming per-point records back;
+* :mod:`repro.server.app`      — the HTTP listener
+  (submit/status/result/stream/stats + health probe);
+* :mod:`repro.server.client`   — the stdlib client the CLI, tests and
+  benchmarks drive the server with.
+
+Quickstart::
+
+    from repro.server import serve_in_thread, ServerClient
+
+    handle = serve_in_thread(processes=2)
+    client = ServerClient(port=handle.port)
+    result = client.run({"kind": "synthesis",
+                         "jobs": [{"bench": "xnor2"}]})
+    print(result["points"][0]["lattice"])
+    handle.stop()
+
+The same server runs standalone as ``nanoxbar serve`` and is driven from
+the shell by ``nanoxbar submit``.
+"""
+
+from .app import BatchServer, ServerHandle, serve_in_thread
+from .client import ServerClient, ServerError
+from .protocol import (
+    KINDS,
+    ProtocolError,
+    Submission,
+    fault_estimate_record,
+    job_result_record,
+    parse_submission,
+    variation_estimate_record,
+)
+from .queue import JobQueue, ServedJob
+from .worker import WorkerBridge
+
+__all__ = [
+    "BatchServer",
+    "JobQueue",
+    "KINDS",
+    "ProtocolError",
+    "ServedJob",
+    "ServerClient",
+    "ServerError",
+    "ServerHandle",
+    "Submission",
+    "WorkerBridge",
+    "fault_estimate_record",
+    "job_result_record",
+    "parse_submission",
+    "serve_in_thread",
+    "variation_estimate_record",
+]

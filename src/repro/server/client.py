@@ -1,0 +1,134 @@
+"""Small stdlib HTTP client for the batch server.
+
+Used by ``nanoxbar submit``, the server tests and ``bench_server.py`` —
+one :class:`ServerClient` per server, one ``http.client`` connection per
+request (the server closes connections after each exchange), chunked
+decoding handled by the stdlib so :meth:`ServerClient.stream` yields
+per-point records as the server computes them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Iterator
+
+
+class ServerError(RuntimeError):
+    """A non-2xx answer from the server (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServerClient:
+    """Talks the :mod:`repro.server.protocol` vocabulary over HTTP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8351,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            parsed = json.loads(data.decode("utf-8")) if data else None
+            if response.status >= 400:
+                message = (parsed or {}).get("error", data.decode("utf-8"))
+                raise ServerError(response.status, message)
+            return parsed
+        finally:
+            conn.close()
+
+    # -- endpoints --------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait_healthy(self, deadline: float = 30.0,
+                     interval: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        limit = time.monotonic() + deadline
+        while True:
+            try:
+                return self.health()
+            except (OSError, HTTPException, ServerError):
+                if time.monotonic() >= limit:
+                    raise
+                time.sleep(interval)
+
+    def stats(self) -> dict:
+        return self._request("GET", "/api/stats")
+
+    def submit(self, payload: dict) -> dict:
+        """Submit one job; returns ``{job_id, coalesced, state, ...}``."""
+        return self._request("POST", "/api/submit", payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/status/{job_id}")
+
+    def result(self, job_id: str, wait: bool = True) -> dict:
+        """Fetch the full result (blocks server-side until completion)."""
+        suffix = "" if wait else "?wait=0"
+        return self._request("GET", f"/api/result/{job_id}{suffix}")
+
+    def run(self, payload: dict) -> dict:
+        """Submit and wait: the one-call convenience wrapper."""
+        submitted = self.submit(payload)
+        result = self.result(submitted["job_id"])
+        result["coalesced"] = submitted["coalesced"]
+        if result["state"] != "done":
+            raise ServerError(500, result.get("error")
+                              or f"job ended {result['state']}")
+        return result
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield ``{"point": ...}`` records live, then the terminal line."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/api/stream/{job_id}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read().decode("utf-8")
+                try:
+                    message = json.loads(data).get("error", data)
+                except json.JSONDecodeError:
+                    message = data
+                raise ServerError(response.status, message)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return self._request("POST", "/api/shutdown")
+
+    def wait_stopped(self, deadline: float = 30.0,
+                     interval: float = 0.1) -> None:
+        """Poll until the listener is gone (clean-shutdown checks)."""
+        limit = time.monotonic() + deadline
+        while time.monotonic() < limit:
+            try:
+                self.health()
+            except (OSError, HTTPException):
+                return
+            time.sleep(interval)
+        raise TimeoutError("server still answering after shutdown")

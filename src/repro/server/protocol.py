@@ -1,0 +1,285 @@
+"""Wire format of the batch server: submissions in, per-point results out.
+
+One JSON vocabulary shared by the asyncio app (:mod:`repro.server.app`),
+the stdlib client (:mod:`repro.server.client`) and the CLI.  A client
+submits one of the three workload families::
+
+    {"kind": "synthesis", "jobs": [{"bench": "xnor2"},
+                                   {"label": "f", "n": 2, "bits": 6}],
+     "strategies": ["dual", "pcircuit"]}
+
+    {"kind": "faultsim", "n_values": [8], "k_values": [4, 8],
+     "densities": [0.05], "trials": 200}
+
+    {"kind": "varsweep", "bench": "xnor2", "sigmas": [0.2, 0.5],
+     "crossbar_rows": 8, "crossbar_cols": 8, "trials": 100}
+
+and gets per-point JSON records back (one per synthesis job / campaign
+grid point), streamed incrementally over the chunked endpoint.
+
+Every submission normalises to a :class:`Submission` carrying a
+**coalesce key**: a content address over what the computation depends on —
+:meth:`repro.boolean.truthtable.TruthTable.content_hash` per synthesis
+function (the same address the engine's NPN cache keys derive from) and
+:meth:`~repro.faultlab.campaign.CampaignPoint.key` /
+:meth:`~repro.varsim.campaign.VariationCampaignPoint.key` per campaign
+point.  Concurrent identical submissions hash to the same key and share
+one computation in the server's job queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..engine import (
+    DEFAULT_STRATEGIES,
+    FaultToleranceSpec,
+    JobResult,
+    SynthesisJob,
+    known_strategies,
+    lattice_to_text,
+)
+from ..faultlab import CampaignSpec, PointEstimate
+from ..varsim import VariationCampaignSpec, VariationPointEstimate
+
+#: The workload families the server fronts.
+KINDS = ("synthesis", "faultsim", "varsweep")
+
+
+class ProtocolError(ValueError):
+    """A malformed submission (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One normalised, runnable request.
+
+    ``jobs`` is set for synthesis submissions, ``spec`` for the two
+    campaign families; ``echo`` is the normalised request as the result
+    payload repeats it back.
+    """
+
+    kind: str
+    coalesce_key: str
+    points_total: int
+    jobs: tuple[SynthesisJob, ...] | None = None
+    spec: CampaignSpec | VariationCampaignSpec | None = None
+    echo: dict | None = None
+
+
+def _require(payload: dict, field: str) -> Any:
+    if field not in payload:
+        raise ProtocolError(f"submission misses required field {field!r}")
+    return payload[field]
+
+
+def _digest(kind: str, parts: list[str]) -> str:
+    return f"{kind}:{hashlib.sha256('|'.join(parts).encode()).hexdigest()}"
+
+
+# ----------------------------------------------------------------------
+# Submissions
+# ----------------------------------------------------------------------
+def _synthesis_job_from_json(entry: Any) -> SynthesisJob:
+    if not isinstance(entry, dict):
+        raise ProtocolError("synthesis jobs must be JSON objects")
+    strategies = tuple(entry.get("strategies", DEFAULT_STRATEGIES))
+    unknown = set(strategies) - set(known_strategies())
+    if unknown:
+        raise ProtocolError(f"unknown strategies {sorted(unknown)}")
+    fault_tolerance = None
+    if "fault_tolerance" in entry:
+        ft = entry["fault_tolerance"]
+        if not isinstance(ft, dict):
+            raise ProtocolError("fault_tolerance must be a JSON object")
+        try:
+            fault_tolerance = FaultToleranceSpec(**ft)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"bad fault_tolerance spec: {error}")
+    if "bench" in entry:
+        from ..eval.benchsuite import by_name
+
+        try:
+            benchmark = by_name(str(entry["bench"]))
+        except KeyError as error:
+            raise ProtocolError(str(error.args[0]))
+        return SynthesisJob.from_function(
+            benchmark.function, benchmark.name, strategies, fault_tolerance)
+    try:
+        return SynthesisJob(
+            label=str(_require(entry, "label")),
+            n=int(_require(entry, "n")),
+            bits=int(_require(entry, "bits")),
+            strategies=strategies,
+            fault_tolerance=fault_tolerance,
+        )
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad synthesis job: {error}")
+
+
+def _parse_synthesis(payload: dict) -> Submission:
+    entries = _require(payload, "jobs")
+    if not isinstance(entries, list) or not entries:
+        raise ProtocolError("synthesis submissions need a non-empty "
+                            "'jobs' list")
+    shared = {}
+    for field in ("strategies", "fault_tolerance"):
+        if field in payload:
+            shared[field] = payload[field]
+    jobs = tuple(_synthesis_job_from_json({**shared, **entry})
+                 for entry in entries)
+    # The coalesce key addresses the computation: the function *content*
+    # (not how the client spelled it), the strategy portfolio and any
+    # fault-tolerance post-processing, in submission order.
+    parts = [
+        f"{job.label}/{job.n}/{job.table.content_hash()}"
+        f"/{','.join(job.strategies)}/{job.fault_tolerance!r}"
+        for job in jobs
+    ]
+    echo = {"kind": "synthesis",
+            "jobs": [{"label": job.label, "n": job.n} for job in jobs]}
+    return Submission(kind="synthesis",
+                      coalesce_key=_digest("synthesis", parts),
+                      points_total=len(jobs), jobs=jobs, echo=echo)
+
+
+_FAULTSIM_FIELDS = {
+    "n_values", "k_values", "densities", "models", "strategies", "trials",
+    "seed", "stuck_open_fraction", "batch_size",
+}
+
+
+def _parse_faultsim(payload: dict) -> Submission:
+    kwargs = {key: value for key, value in payload.items()
+              if key in _FAULTSIM_FIELDS}
+    kwargs["n_values"] = tuple(_require(payload, "n_values"))
+    kwargs["k_values"] = tuple(_require(payload, "k_values"))
+    kwargs["densities"] = tuple(_require(payload, "densities"))
+    for field in ("models", "strategies"):
+        if field in kwargs:
+            kwargs[field] = tuple(kwargs[field])
+    try:
+        spec = CampaignSpec(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad faultsim spec: {error}")
+    points = spec.points()
+    parts = [point.key() for point in points]
+    parts.append(f"k={','.join(str(k) for k in spec.k_values)}")
+    echo = {"kind": "faultsim", "n_values": list(spec.n_values),
+            "k_values": list(spec.k_values),
+            "densities": list(spec.densities),
+            "models": list(spec.models),
+            "strategies": list(spec.strategies), "trials": spec.trials,
+            "seed": spec.seed}
+    return Submission(kind="faultsim",
+                      coalesce_key=_digest("faultsim", parts),
+                      points_total=len(points), spec=spec, echo=echo)
+
+
+_VARSWEEP_FIELDS = {
+    "sigmas", "crossbar_rows", "crossbar_cols", "trials", "seed",
+    "nominal", "batch_size",
+}
+
+
+def _parse_varsweep(payload: dict) -> Submission:
+    kwargs = {key: value for key, value in payload.items()
+              if key in _VARSWEEP_FIELDS}
+    kwargs["sigmas"] = tuple(_require(payload, "sigmas"))
+    if "bench" in payload:
+        from ..eval.benchsuite import by_name
+        from ..synthesis import synthesize_lattice_dual
+
+        try:
+            benchmark = by_name(str(payload["bench"]))
+        except KeyError as error:
+            raise ProtocolError(str(error.args[0]))
+        lattice = synthesize_lattice_dual(benchmark.function.on)
+        bench_name = benchmark.name
+    else:
+        raise ProtocolError("varsweep submissions need a 'bench' name")
+    kwargs.setdefault("crossbar_rows", max(16, lattice.rows))
+    kwargs.setdefault("crossbar_cols", max(16, lattice.cols))
+    try:
+        spec = VariationCampaignSpec(lattice=lattice, **kwargs)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad varsweep spec: {error}")
+    points = spec.points()
+    echo = {"kind": "varsweep", "bench": bench_name,
+            "sigmas": list(spec.sigmas),
+            "crossbar_rows": spec.crossbar_rows,
+            "crossbar_cols": spec.crossbar_cols, "trials": spec.trials,
+            "seed": spec.seed}
+    return Submission(kind="varsweep",
+                      coalesce_key=_digest(
+                          "varsweep", [point.key() for point in points]),
+                      points_total=len(points), spec=spec, echo=echo)
+
+
+def parse_submission(payload: Any) -> Submission:
+    """Normalise one submitted JSON object (raises :class:`ProtocolError`)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("a submission must be a JSON object")
+    kind = _require(payload, "kind")
+    if kind == "synthesis":
+        return _parse_synthesis(payload)
+    if kind == "faultsim":
+        return _parse_faultsim(payload)
+    if kind == "varsweep":
+        return _parse_varsweep(payload)
+    raise ProtocolError(f"unknown submission kind {kind!r} "
+                        f"(expected one of {', '.join(KINDS)})")
+
+
+# ----------------------------------------------------------------------
+# Per-point result records
+# ----------------------------------------------------------------------
+def job_result_record(result: JobResult) -> dict:
+    """One synthesis answer as a JSON record (lattice in text form)."""
+    return {
+        "label": result.label,
+        "n": result.n,
+        "strategy": result.strategy,
+        "rows": result.shape[0],
+        "cols": result.shape[1],
+        "area": result.area,
+        "cache_hit": result.cache_hit,
+        "lattice": lattice_to_text(result.lattice),
+    }
+
+
+def fault_estimate_record(estimate: PointEstimate) -> dict:
+    """One faultsim grid-point answer as a JSON record."""
+    point = estimate.point
+    return {
+        "model": point.model,
+        "n": point.n,
+        "density": point.density,
+        "strategy": point.strategy,
+        "trials": estimate.trials,
+        "k_histogram": list(estimate.k_histogram),
+        "mean_k": estimate.mean_k,
+        "cache_hit": estimate.cache_hit,
+    }
+
+
+def variation_estimate_record(estimate: VariationPointEstimate) -> dict:
+    """One varsweep sigma-point answer as a JSON record."""
+    return {
+        "sigma": estimate.point.sigma,
+        "trials": estimate.trials,
+        "aware_delays": list(estimate.aware_delays),
+        "oblivious_delays": list(estimate.oblivious_delays),
+        "aware_mean": estimate.aware_mean,
+        "oblivious_mean": estimate.oblivious_mean,
+        "cache_hit": estimate.cache_hit,
+    }
+
+
+def dumps(obj: Any) -> bytes:
+    """Canonical compact JSON bytes (the one encoder both sides use)."""
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,101 @@
+"""The worker bridge: pool-sharded jobs running off the event loop.
+
+The asyncio front-end must never block on a synthesis race or a
+Monte-Carlo campaign, and the compute substrates are synchronous by
+design (``BatchEngine`` batches, the campaign iterators).  The bridge
+owns a small :class:`~concurrent.futures.ThreadPoolExecutor`; each served
+job runs in one of its threads, shards its real work over
+:mod:`repro.engine.pool` processes as usual, and reports per-point
+progress through a thread-safe ``emit`` callback the job queue provides
+(:mod:`repro.server.queue` forwards the records onto the event loop).
+
+Shared state is safe by construction: synthesis batches are serialised
+through :meth:`repro.engine.engine.BatchEngine.submit` (one dedicated
+engine thread), and campaign points persist through the thread-safe
+:class:`~repro.engine.store.JsonStore`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from ..engine import BatchEngine, JsonStore
+from ..faultlab import iter_campaign
+from ..varsim import iter_variation_campaign
+from .protocol import (
+    Submission,
+    fault_estimate_record,
+    job_result_record,
+    variation_estimate_record,
+)
+
+#: ``emit`` events: ("running", None), ("point", record),
+#: ("done", None), ("failed", message).
+EmitFn = Callable[[str, object], None]
+
+
+class WorkerBridge:
+    """Runs submissions on worker threads, streaming per-point records.
+
+    Args:
+        cache_path: one SQLite file backing *both* the engine's
+            NPN-canonical cache and the campaign ``JsonStore`` (they own
+            distinct tables); ``":memory:"`` keeps each ephemeral.
+        processes: pool width each job shards over
+            (:func:`repro.engine.pool.map_sharded`).
+        job_workers: how many served jobs may compute concurrently.
+    """
+
+    def __init__(self, cache_path: str = ":memory:", processes: int = 1,
+                 job_workers: int = 2):
+        self.engine = BatchEngine(cache_path=cache_path,
+                                  processes=processes)
+        self.store = JsonStore(cache_path)
+        self.processes = processes
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, job_workers),
+            thread_name_prefix="nanoxbar-job")
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        return self._executor
+
+    def run_submission(self, submission: Submission, emit: EmitFn) -> None:
+        """Worker-thread body: compute one submission, emitting progress."""
+        emit("running", None)
+        try:
+            if submission.kind == "synthesis":
+                # Non-blocking handoff to the engine's dedicated batch
+                # thread; this worker thread just waits for the wave.
+                for result in self.engine.submit(submission.jobs).result():
+                    emit("point", job_result_record(result))
+            elif submission.kind == "faultsim":
+                for estimate in iter_campaign(submission.spec,
+                                              store=self.store,
+                                              processes=self.processes):
+                    emit("point", fault_estimate_record(estimate))
+            elif submission.kind == "varsweep":
+                for estimate in iter_variation_campaign(
+                        submission.spec, store=self.store,
+                        processes=self.processes):
+                    emit("point", variation_estimate_record(estimate))
+            else:  # pragma: no cover - parse_submission gates kinds
+                raise ValueError(f"unknown kind {submission.kind!r}")
+        except Exception as error:  # noqa: BLE001 - reported to the client
+            emit("failed", f"{type(error).__name__}: {error}")
+        else:
+            emit("done", None)
+
+    def stats(self) -> dict:
+        """Engine hit/dedup statistics plus store occupancy."""
+        return {
+            "engine": self.engine.stats.as_dict(),
+            "synthesis_cache_entries": len(self.engine.cache),
+            "campaign_store_entries": len(self.store),
+        }
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+        self.engine.close()
+        self.store.close()

@@ -42,6 +42,7 @@ from .campaign import (
     VariationCampaignResult,
     VariationCampaignSpec,
     VariationPointEstimate,
+    iter_variation_campaign,
     lattice_content_hash,
     run_variation_campaign,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "VariationCampaignSpec",
     "VariationPointEstimate",
     "awareness_crosschecks",
+    "iter_variation_campaign",
     "lattice_content_hash",
     "lognormal_variation_batch",
     "oblivious_selection_batch",

@@ -14,9 +14,14 @@ over the on-set) through the batched Bellman-Ford kernel of
 * :class:`VariationCampaignPoint` — one sampled ensemble (one sigma; the
   aware and oblivious policies share the ensemble, so they are comparable
   trial-by-trial);
-* :func:`run_variation_campaign` — shards trial batches through
-  :func:`repro.engine.pool.map_sharded` and persists per-point delay
-  vectors in the engine's :class:`~repro.engine.store.JsonStore`.
+* :func:`iter_variation_campaign` — the streaming core: shards each
+  point's trial batches through :func:`repro.engine.pool.map_sharded`,
+  persists its delay vectors in the engine's
+  :class:`~repro.engine.store.JsonStore` and **yields** the
+  :class:`VariationPointEstimate` as soon as the sigma completes — the
+  batch server streams these to clients incrementally;
+* :func:`run_variation_campaign` — drains the iterator into an aggregate
+  :class:`VariationCampaignResult`.
 
 Determinism: the same contract as :mod:`repro.faultlab.campaign` — each
 point's RNG root is a ``SeedSequence`` over the campaign seed plus a
@@ -40,7 +45,7 @@ import numpy as np
 
 from ..boolean.cube import Literal
 from ..crossbar.lattice import Lattice
-from ..engine.pool import batch_sizes, map_sharded
+from ..engine.pool import batch_sizes, iter_sharded
 from ..engine.store import JsonStore
 from ..xbareval.delay import onset_critical_delay_batch
 from .ensembles import (
@@ -281,91 +286,114 @@ def _valid_payload(payload, point: VariationCampaignPoint) -> bool:
     )
 
 
-def run_variation_campaign(spec: VariationCampaignSpec,
-                           store: JsonStore | str | None = None,
-                           processes: int = 1) -> VariationCampaignResult:
-    """Run a campaign: probe the store, shard the misses, persist, report.
+def _point_tasks(spec: VariationCampaignSpec,
+                 point: VariationCampaignPoint,
+                 minterms: tuple[int, ...]) -> list[tuple]:
+    """One worker task per seeded trial batch of this sigma point."""
+    root = np.random.SeedSequence(point.entropy())
+    sizes = batch_sizes(point.trials, point.batch_size)
+    return [
+        (spec.lattice, minterms, point.sigma, point.crossbar_rows,
+         point.crossbar_cols, point.nominal, batch_trials, child)
+        for child, batch_trials in zip(root.spawn(len(sizes)), sizes)
+    ]
+
+
+def iter_variation_campaign(spec: VariationCampaignSpec,
+                            store: JsonStore | str | None = None,
+                            processes: int = 1):
+    """Yield one :class:`VariationPointEstimate` per sigma as it completes.
+
+    The streaming face of the runner: the batch server forwards each
+    estimate to its clients the moment the sigma's trials are in, and
+    every fresh point is persisted before it is yielded (an interrupted
+    campaign resumes from the store).  Point order matches
+    :meth:`VariationCampaignSpec.points`.  Batch seeds are
+    content-addressed (never position-based), so streamed estimates are
+    bit-identical to the aggregate runner's, serial or pooled — and the
+    pooled path keeps the whole grid's batches in flight at once
+    (:func:`repro.engine.pool.iter_sharded`).
 
     Args:
         store: a :class:`~repro.engine.store.JsonStore`, a path to open one
-            at (closed again before returning), or ``None`` for no
+            at (closed when the iterator is exhausted), or ``None`` for no
             persistence.
-        processes: worker count for :func:`repro.engine.pool.map_sharded`
-            (``1`` = serial; results are bit-identical either way).
+        processes: worker count (``1`` = serial; results are
+            bit-identical either way).
 
     Raises:
         ValueError: when the spec's lattice computes the constant-0
             function — critical delay is undefined on an empty on-set.
     """
-    owned = isinstance(store, str)
-    json_store: JsonStore | None = JsonStore(store) if owned else store
-    try:
-        return _run_variation_campaign(spec, json_store, processes)
-    finally:
-        if owned and json_store is not None:
-            json_store.close()
-
-
-def _run_variation_campaign(spec: VariationCampaignSpec,
-                            store: JsonStore | None,
-                            processes: int) -> VariationCampaignResult:
-    start = time.perf_counter()
     table = spec.lattice.to_truth_table()
     minterms = tuple(table.minterms())
     if not minterms:
         raise ValueError(
             "variation campaign is undefined for a constant-0 lattice: "
             "critical delay has no conducting on-set input")
+    owned = isinstance(store, str)
+    json_store: JsonStore | None = JsonStore(store) if owned else store
+    try:
+        yield from _iter_variation_campaign(spec, minterms, json_store,
+                                            processes)
+    finally:
+        if owned and json_store is not None:
+            json_store.close()
 
-    points = spec.points()
-    cached: dict[int, VariationPointEstimate] = {}
+
+def _iter_variation_campaign(spec: VariationCampaignSpec,
+                             minterms: tuple[int, ...],
+                             store: JsonStore | None,
+                             processes: int):
+    # Plan the whole grid first (store probes are cheap reads), so one
+    # shared pool can pipeline every fresh batch across sigmas.
+    plans: list[tuple[VariationCampaignPoint,
+                      VariationPointEstimate | None, int]] = []
     tasks: list[tuple] = []
-    task_owner: list[int] = []
-    for index, point in enumerate(points):
+    for point in spec.points():
         payload = store.get(point.key()) if store is not None else None
         if payload is not None and _valid_payload(payload, point):
-            cached[index] = VariationPointEstimate(
-                point, tuple(payload["aware"]), tuple(payload["oblivious"]),
-                cache_hit=True)
+            plans.append((point, VariationPointEstimate(
+                point, tuple(payload["aware"]),
+                tuple(payload["oblivious"]), cache_hit=True), 0))
             continue
-        root = np.random.SeedSequence(point.entropy())
-        sizes = batch_sizes(point.trials, point.batch_size)
-        for child, batch_trials in zip(root.spawn(len(sizes)), sizes):
-            tasks.append((spec.lattice, minterms, point.sigma,
-                          point.crossbar_rows, point.crossbar_cols,
-                          point.nominal, batch_trials, child))
-            task_owner.append(index)
+        point_tasks = _point_tasks(spec, point, minterms)
+        tasks.extend(point_tasks)
+        plans.append((point, None, len(point_tasks)))
 
-    results = map_sharded(_point_batch_task, tasks, processes)
-    fresh_aware: dict[int, list[float]] = {}
-    fresh_oblivious: dict[int, list[float]] = {}
-    for index, (aware, oblivious) in zip(task_owner, results):
-        fresh_aware.setdefault(index, []).extend(aware)
-        fresh_oblivious.setdefault(index, []).extend(oblivious)
-
-    estimates: list[VariationPointEstimate] = []
-    new_entries: list[tuple[str, dict]] = []
-    trials_sampled = 0
-    for index, point in enumerate(points):
-        if index in cached:
-            estimates.append(cached[index])
+    results = iter_sharded(_point_batch_task, tasks, processes)
+    for point, cached, task_count in plans:
+        if cached is not None:
+            yield cached
             continue
-        aware = tuple(fresh_aware[index])
-        oblivious = tuple(fresh_oblivious[index])
-        estimates.append(VariationPointEstimate(point, aware, oblivious,
-                                                cache_hit=False))
-        trials_sampled += point.trials
-        new_entries.append((point.key(), {
-            "aware": list(aware),
-            "oblivious": list(oblivious),
-        }))
-    if store is not None and new_entries:
-        store.put_many(new_entries)
+        aware: list[float] = []
+        oblivious: list[float] = []
+        for _ in range(task_count):
+            batch_aware, batch_oblivious = next(results)
+            aware.extend(batch_aware)
+            oblivious.extend(batch_oblivious)
+        estimate = VariationPointEstimate(point, tuple(aware),
+                                          tuple(oblivious),
+                                          cache_hit=False)
+        if store is not None:
+            store.put(point.key(), {
+                "aware": list(estimate.aware_delays),
+                "oblivious": list(estimate.oblivious_delays),
+            })
+        yield estimate
 
+
+def run_variation_campaign(spec: VariationCampaignSpec,
+                           store: JsonStore | str | None = None,
+                           processes: int = 1) -> VariationCampaignResult:
+    """Run a whole campaign through :func:`iter_variation_campaign`."""
+    start = time.perf_counter()
+    estimates = list(iter_variation_campaign(spec, store, processes))
     return VariationCampaignResult(
         spec=spec,
         estimates=estimates,
         elapsed=time.perf_counter() - start,
-        cache_hits=len(cached),
-        trials_sampled=trials_sampled,
+        cache_hits=sum(1 for est in estimates if est.cache_hit),
+        trials_sampled=sum(est.point.trials for est in estimates
+                           if not est.cache_hit),
     )

@@ -11,7 +11,6 @@ full uint64 range — asserted here regardless of which path is active.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.boolean.bitops import (
     HAVE_NATIVE_POPCOUNT,

@@ -36,7 +36,7 @@ class TestParsing:
         t, _ = table_of("~a & (b | c) ^ 1")
         for m in range(8):
             a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
-            assert t.evaluate(m) == (((not a) and (b or c)) != True)
+            assert t.evaluate(m) == (not ((not a) and (b or c)))
 
     def test_xnor_example_from_paper(self):
         t, _ = table_of("x1 x2 + x1' x2'")

@@ -178,3 +178,80 @@ class TestCli:
         out = capsys.readouterr().out
         assert "optimal lattice 1 x 2" in out
         assert "proved: True" in out
+
+
+class TestCliErrorPaths:
+    """Exit-code contracts: 2 for bad requests, 0 for tiny happy paths."""
+
+    # -- faultsim ---------------------------------------------------------
+    def test_faultsim_negative_density(self, capsys):
+        code = cli_main(["faultsim", "--n", "8", "--densities", "-0.1",
+                         "--trials", "5", "--no-cache"])
+        assert code == 2
+        assert "densities" in capsys.readouterr().err
+
+    def test_faultsim_zero_trials(self, capsys):
+        code = cli_main(["faultsim", "--n", "8", "--densities", "0.05",
+                         "--trials", "0", "--no-cache"])
+        assert code == 2
+        assert "trials" in capsys.readouterr().err
+
+    def test_faultsim_exact_beyond_validated_regime(self, capsys):
+        code = cli_main(["faultsim", "--n", "16", "--densities", "0.05",
+                         "--strategies", "exact", "--trials", "5",
+                         "--no-cache"])
+        assert code == 2
+        assert "exact" in capsys.readouterr().err
+
+    def test_faultsim_bad_stuck_open_fraction(self, capsys):
+        code = cli_main(["faultsim", "--n", "8", "--densities", "0.05",
+                         "--stuck-open-fraction", "1.5", "--trials", "5",
+                         "--no-cache"])
+        assert code == 2
+        assert "stuck_open_fraction" in capsys.readouterr().err
+
+    # -- varsweep ---------------------------------------------------------
+    def test_varsweep_unknown_bench(self, capsys):
+        code = cli_main(["varsweep", "--bench", "no-such-bench",
+                         "--trials", "5", "--no-cache"])
+        assert code == 2
+        assert "no benchmark named" in capsys.readouterr().err
+
+    def test_varsweep_negative_sigma(self, capsys):
+        code = cli_main(["varsweep", "--bench", "xnor2", "--sigmas",
+                         "-0.5", "--trials", "5", "--no-cache"])
+        assert code == 2
+        assert "sigmas" in capsys.readouterr().err
+
+    def test_varsweep_crossbar_smaller_than_lattice(self, capsys):
+        code = cli_main(["varsweep", "--bench", "xnor2",
+                         "--crossbar-rows", "1", "--crossbar-cols", "1",
+                         "--trials", "5", "--no-cache"])
+        assert code == 2
+        assert "crossbar" in capsys.readouterr().err
+
+    def test_varsweep_bad_nominal(self, capsys):
+        code = cli_main(["varsweep", "--bench", "xnor2", "--nominal",
+                         "0.0", "--trials", "5", "--no-cache"])
+        assert code == 2
+        assert "nominal" in capsys.readouterr().err
+
+    def test_varsweep_happy_path_exit_code(self, capsys):
+        code = cli_main(["varsweep", "--bench", "xnor2", "--sigmas",
+                         "0.3", "--trials", "10", "--batch-size", "5",
+                         "--crossbar-rows", "8", "--crossbar-cols", "8",
+                         "--no-cache"])
+        assert code == 0
+        assert "varsim campaign" in capsys.readouterr().out
+
+    # -- batch ------------------------------------------------------------
+    def test_batch_bad_defect_density(self, capsys):
+        code = cli_main(["batch", "--no-cache", "--max-vars", "3",
+                         "--no-optimal", "--defect-density", "-0.2"])
+        assert code == 2
+        assert "defect_density" in capsys.readouterr().err
+
+    def test_batch_max_vars_zero_matches_nothing(self, capsys):
+        code = cli_main(["batch", "--no-cache", "--max-vars", "0"])
+        assert code == 2
+        assert "no benchmarks" in capsys.readouterr().err

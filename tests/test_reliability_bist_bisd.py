@@ -6,14 +6,11 @@ import math
 import pytest
 
 from repro.reliability import (
-    BridgeFault,
     CrossbarFabric,
     CrosspointStuckClosed,
     CrosspointStuckOpen,
     DefectMap,
     CrosspointState,
-    LineStuckAt,
-    all_single_faults,
     application_bist_passes,
     bist_configurations,
     coverage,

@@ -304,8 +304,8 @@ def test_evaluate_labellings_matches_lattice_eval(n, rows, cols, seed):
         for _ in range(5)
     ])
     tables = evaluate_labellings(label_values, grids)
-    for l in range(5):
-        lattice = Lattice(n, [[labels[grids[l, r, c]] for c in range(cols)]
+    for b in range(5):
+        lattice = Lattice(n, [[labels[grids[b, r, c]] for c in range(cols)]
                               for r in range(rows)])
-        assert tables[l].tolist() == \
+        assert tables[b].tolist() == \
             lattice.to_truth_table_scalar().values.tolist()
