@@ -20,6 +20,7 @@ deterministic, so serial and pooled runs return bit-identical results.
 
 from __future__ import annotations
 
+import contextvars
 import random
 import threading
 import time
@@ -31,6 +32,7 @@ from typing import Iterable, Sequence
 
 from ..boolean.npn import NpnTransform
 from ..boolean.truthtable import TruthTable
+from ..obs import get_logger, log_event, metrics, tracing
 from ..xbareval import implements_table
 from .cache import (
     CachedResult,
@@ -48,10 +50,20 @@ from .jobs import (
 from .pool import default_processes, map_sharded
 from .portfolio import PortfolioConfig, run_portfolio
 
+_LOG = get_logger("engine")
+
 
 @dataclass
 class EngineStats:
-    """Aggregate accounting for one or more ``run`` calls."""
+    """Aggregate accounting for one or more ``run`` calls.
+
+    Accumulation and snapshotting are atomic under an internal lock:
+    ``run`` calls record a whole batch in one :meth:`record_run`, and
+    ``as_dict`` (the server's ``/api/stats`` payload, read from another
+    thread while batches from ``submit()`` futures land) never observes
+    a half-applied batch.  ``strategy_wins`` is kept key-sorted, so
+    snapshot order is deterministic however runs interleave.
+    """
 
     jobs: int = 0
     cache_hits: int = 0
@@ -60,6 +72,26 @@ class EngineStats:
     deduped: int = 0
     elapsed: float = 0.0
     strategy_wins: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record_run(self, jobs: int, cache_hits: int, races_run: int,
+                   deduped: int, elapsed: float,
+                   strategy_wins: dict[str, int]) -> None:
+        """Fold one batch's accounting in as a single atomic step."""
+        with self._lock:
+            self.jobs += jobs
+            self.cache_hits += cache_hits
+            self.cache_misses += jobs - cache_hits
+            self.races_run += races_run
+            self.deduped += deduped
+            self.elapsed += elapsed
+            merged = dict(self.strategy_wins)
+            for name, count in strategy_wins.items():
+                merged[name] = merged.get(name, 0) + count
+            self.strategy_wins = {name: merged[name]
+                                  for name in sorted(merged)}
 
     @property
     def hit_rate(self) -> float:
@@ -72,26 +104,32 @@ class EngineStats:
 
     def as_dict(self) -> dict:
         """JSON-serialisable snapshot (the server's ``/api/stats`` payload)."""
-        return {
-            "jobs": self.jobs,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "races_run": self.races_run,
-            "deduped": self.deduped,
-            "elapsed": self.elapsed,
-            "hit_rate": self.hit_rate,
-            "throughput": self.throughput,
-            "strategy_wins": dict(sorted(self.strategy_wins.items())),
-        }
+        with self._lock:
+            jobs, hits = self.jobs, self.cache_hits
+            return {
+                "jobs": jobs,
+                "cache_hits": hits,
+                "cache_misses": self.cache_misses,
+                "races_run": self.races_run,
+                "deduped": self.deduped,
+                "elapsed": self.elapsed,
+                "hit_rate": hits / jobs if jobs else 0.0,
+                "throughput": jobs / self.elapsed if self.elapsed > 0
+                else 0.0,
+                "strategy_wins": dict(sorted(self.strategy_wins.items())),
+            }
 
     def render(self) -> str:
+        snapshot = self.as_dict()
         wins = ", ".join(f"{name}:{count}"
-                         for name, count in sorted(self.strategy_wins.items()))
+                         for name, count in snapshot["strategy_wins"].items())
         return (
-            f"jobs={self.jobs}  hits={self.cache_hits}  "
-            f"misses={self.cache_misses}  races={self.races_run}  "
-            f"deduped={self.deduped}  hit_rate={self.hit_rate:.1%}  "
-            f"throughput={self.throughput:.2f} fn/s\n"
+            f"jobs={snapshot['jobs']}  hits={snapshot['cache_hits']}  "
+            f"misses={snapshot['cache_misses']}  "
+            f"races={snapshot['races_run']}  "
+            f"deduped={snapshot['deduped']}  "
+            f"hit_rate={snapshot['hit_rate']:.1%}  "
+            f"throughput={snapshot['throughput']:.2f} fn/s\n"
             f"strategy wins: {wins or '-'}"
         )
 
@@ -168,6 +206,19 @@ class BatchEngine:
         self.config = config or PortfolioConfig()
         self.stats = EngineStats()
         self._run_lock = threading.RLock()
+        registry = metrics.registry()
+        self._m_jobs = registry.counter(
+            "engine_jobs_total", "synthesis jobs processed")
+        self._m_hits = registry.counter(
+            "engine_cache_hits_total", "jobs answered from the NPN cache")
+        self._m_misses = registry.counter(
+            "engine_cache_misses_total", "jobs that needed a portfolio race")
+        self._m_deduped = registry.counter(
+            "engine_dedup_total", "in-batch duplicate jobs folded away")
+        self._m_races = registry.counter(
+            "engine_races_total", "portfolio races executed")
+        self._m_batch_seconds = registry.histogram(
+            "engine_batch_seconds", "wall-clock of whole engine.run batches")
         # Eagerly constructed (the worker thread itself only spawns on
         # first submit), so concurrent first submissions cannot race a
         # lazy check-then-set into two executors.
@@ -196,8 +247,14 @@ class BatchEngine:
         connection).  Callers — the async server's worker bridge first
         among them — can await the future off their event loop while
         further submissions queue behind it.
+
+        The caller's context (most importantly the ambient trace ID) is
+        copied onto the batch thread, so engine spans stay inside the
+        submitting request's trace.
         """
-        return self._submit_executor.submit(self.run, list(jobs))
+        context = contextvars.copy_context()
+        return self._submit_executor.submit(context.run, self.run,
+                                            list(jobs))
 
     def run(self, jobs: Sequence[SynthesisJob] | Iterable[SynthesisJob]
             ) -> list[JobResult]:
@@ -206,6 +263,10 @@ class BatchEngine:
             return self._run(list(jobs))
 
     def _run(self, jobs: list[SynthesisJob]) -> list[JobResult]:
+        with tracing.span("engine.run_batch", jobs=len(jobs)):
+            return self._run_spanned(jobs)
+
+    def _run_spanned(self, jobs: list[SynthesisJob]) -> list[JobResult]:
         start = time.perf_counter()
 
         # Phase 1: canonicalise + probe the cache.  The NPN canonical key
@@ -217,28 +278,33 @@ class BatchEngine:
         tasks: dict[str, tuple[str, int, int, tuple[str, ...]]] = {}
         task_keys: list[str] = []
         deduped = 0
-        for job in jobs:
-            table = job.table
-            canon, transform = canonical_cache_key(table)
-            config_fp = self.config.fingerprint(job.strategies)
-            polarity = transform.output_negate
-            keys.append((canon, transform))
-            cached = self.cache.get(job.n, canon, polarity, config_fp)
-            probed.append(cached)
-            task_key = f"{job.n}/{canon}/{int(polarity)}/{config_fp}"
-            task_keys.append(task_key)
-            if cached is None:
-                if task_key in tasks:
-                    deduped += 1
-                else:
-                    g_table = canonical_polarity_table(table, transform)
-                    tasks[task_key] = (task_key, job.n, g_table.bits,
-                                      job.strategies)
+        with tracing.span("engine.cache_probe", jobs=len(jobs)):
+            for job in jobs:
+                table = job.table
+                canon, transform = canonical_cache_key(table)
+                config_fp = self.config.fingerprint(job.strategies)
+                polarity = transform.output_negate
+                keys.append((canon, transform))
+                cached = self.cache.get(job.n, canon, polarity, config_fp)
+                probed.append(cached)
+                task_key = f"{job.n}/{canon}/{int(polarity)}/{config_fp}"
+                task_keys.append(task_key)
+                if cached is None:
+                    if task_key in tasks:
+                        deduped += 1
+                    else:
+                        g_table = canonical_polarity_table(table, transform)
+                        tasks[task_key] = (task_key, job.n, g_table.bits,
+                                          job.strategies)
 
         # Phase 2+3: race the unique misses across the pool, then persist
         # the whole wave in one transaction.
         worker = partial(_race_task, config=self.config)
-        raced = dict(map_sharded(worker, list(tasks.values()), self.processes))
+        with tracing.span("engine.race", tasks=len(tasks)):
+            raced = dict(map_sharded(worker, list(tasks.values()),
+                                     self.processes))
+        for result in raced.values():
+            self._observe_race(result)
         self.cache.put_many([
             (int(n), canon, polarity == "1", config_fp, result)
             for task_key, result in raced.items()
@@ -246,6 +312,67 @@ class BatchEngine:
         ])
 
         # Phase 4: rewrite each canonical answer back to its job.
+        with tracing.span("engine.rewrite", jobs=len(jobs)):
+            results, healed = self._rewrite_phase(jobs, keys, probed, raced,
+                                                  task_keys)
+
+        # Accounting: one atomic fold into the shared stats, mirrored to
+        # the metrics registry (counters are independently atomic; scrape
+        # consistency across them is best-effort by design).
+        elapsed = time.perf_counter() - start
+        hits = sum(1 for result in results if result.cache_hit)
+        wins: dict[str, int] = {}
+        for result in results:
+            wins[result.strategy] = wins.get(result.strategy, 0) + 1
+        self.stats.record_run(len(jobs), hits, len(tasks) + len(healed),
+                              deduped, elapsed, wins)
+        self._m_jobs.inc(len(jobs))
+        self._m_hits.inc(hits)
+        self._m_misses.inc(len(jobs) - hits)
+        self._m_races.inc(len(tasks) + len(healed))
+        self._m_deduped.inc(deduped)
+        self._m_batch_seconds.observe(elapsed)
+        registry = metrics.registry()
+        for name, count in wins.items():
+            registry.counter(
+                "engine_strategy_wins_total",
+                "jobs whose winning lattice came from this strategy",
+                labels={"strategy": name},
+            ).inc(count)
+        log_event(_LOG, "batch complete", jobs=len(jobs), cache_hits=hits,
+                  races=len(tasks) + len(healed), deduped=deduped,
+                  seconds=round(elapsed, 6))
+        return results
+
+    def _observe_race(self, result: CachedResult) -> None:
+        """Record per-strategy latency/outcome metrics for one fresh race.
+
+        Only freshly raced results flow through here — cache hits replay
+        persisted :class:`StrategyOutcome` rows whose elapsed times were
+        already observed when they were first computed.
+        """
+        registry = metrics.registry()
+        for outcome in result.outcomes:
+            registry.counter(
+                "engine_strategy_outcomes_total",
+                "portfolio strategy attempts by terminal status",
+                labels={"strategy": outcome.strategy,
+                        "status": outcome.status},
+            ).inc()
+            registry.histogram(
+                "engine_strategy_seconds",
+                "per-strategy synthesis latency inside portfolio races",
+                labels={"strategy": outcome.strategy},
+            ).observe(outcome.elapsed)
+
+    def _rewrite_phase(
+        self,
+        jobs: list[SynthesisJob],
+        keys: list[tuple[str, NpnTransform]],
+        probed: list[CachedResult | None],
+        raced: dict[str, CachedResult],
+        task_keys: list[str],
+    ) -> tuple[list[JobResult], dict[str, CachedResult]]:
         results: list[JobResult] = []
         healed: dict[str, CachedResult] = {}
         for index, (job, (canon, transform), cached) in enumerate(
@@ -278,6 +405,7 @@ class BatchEngine:
                     self.cache.put(int(n), canon_text, polarity == "1",
                                    config_fp, cached)
                     healed[task_keys[index]] = cached
+                    self._observe_race(cached)
                 hit = False
                 lattice = transform_lattice_from_canonical(cached.lattice,
                                                            transform)
@@ -300,19 +428,7 @@ class BatchEngine:
                 fault_tolerance=report,
             ))
 
-        # Accounting.
-        elapsed = time.perf_counter() - start
-        hits = sum(1 for result in results if result.cache_hit)
-        self.stats.jobs += len(jobs)
-        self.stats.cache_hits += hits
-        self.stats.cache_misses += len(jobs) - hits
-        self.stats.races_run += len(tasks) + len(healed)
-        self.stats.deduped += deduped
-        self.stats.elapsed += elapsed
-        for result in results:
-            self.stats.strategy_wins[result.strategy] = (
-                self.stats.strategy_wins.get(result.strategy, 0) + 1)
-        return results
+        return results, healed
 
     def report(self) -> str:
         """Human-readable throughput / cache summary."""

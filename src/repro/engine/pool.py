@@ -14,10 +14,20 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
+from functools import partial
 from typing import Callable, Iterator, Sequence, TypeVar
+
+from ..obs import metrics, tracing
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Per-shard-task execution time, as measured *inside* the worker.
+_SHARD_SECONDS = metrics.registry().histogram(
+    "pool_shard_seconds", "per-task execution time inside pool workers")
+_SHARD_TASKS = metrics.registry().counter(
+    "pool_tasks_total", "tasks executed through the sharded pool")
 
 
 def default_processes() -> int:
@@ -82,25 +92,55 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _timed_task(fn: Callable[[T], R], trace_id: str | None,
+                item: T) -> tuple[str | None, float, R]:
+    """Worker body wrapper: measure one task where it actually runs.
+
+    The trace ID crosses the process boundary as a plain field on the
+    payload and comes back with the worker-measured duration, so the
+    parent can record a pool-shard span inside the right trace without
+    any shared telemetry state between processes.
+    """
+    start = time.perf_counter()
+    result = fn(item)
+    return trace_id, time.perf_counter() - start, result
+
+
+def _collect(entry: tuple[str | None, float, R]) -> R:
+    """Unwrap one timed task result, recording its shard span/metrics."""
+    trace_id, elapsed, result = entry
+    tracing.record_span("pool.shard", elapsed, trace_id=trace_id)
+    _SHARD_SECONDS.observe(elapsed)
+    _SHARD_TASKS.inc()
+    return result
+
+
 def map_sharded(fn: Callable[[T], R], items: Sequence[T],
                 processes: int = 1) -> list[R]:
     """Order-preserving parallel map with graceful serial fallback."""
     items = list(items)
-    if processes <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    workers = min(processes, len(items))
-    ctx = _pool_context()
-    try:
-        pool = ctx.Pool(workers)
-    except (OSError, PermissionError, RuntimeError, ImportError):
-        # Pool creation (or the semaphores behind it) can be forbidden in
-        # sandboxed environments; the contract is identical results, so
-        # fall back to the serial path rather than failing the batch.
-        # Exceptions raised *inside* workers are not caught here — they
-        # propagate out of pool.map exactly as they would serially.
-        return [fn(item) for item in items]
-    with pool:
-        return pool.map(fn, items, chunksize=chunk_size(len(items), workers))
+    call = partial(_timed_task, fn, tracing.current_trace_id())
+    with tracing.span("pool.map", tasks=len(items)) as handle:
+        if processes <= 1 or len(items) <= 1:
+            handle.set("mode", "serial")
+            return [_collect(call(item)) for item in items]
+        workers = min(processes, len(items))
+        ctx = _pool_context()
+        try:
+            pool = ctx.Pool(workers)
+        except (OSError, PermissionError, RuntimeError, ImportError):
+            # Pool creation (or the semaphores behind it) can be forbidden
+            # in sandboxed environments; the contract is identical results,
+            # so fall back to the serial path rather than failing the
+            # batch.  Exceptions raised *inside* workers are not caught
+            # here — they propagate out of pool.map exactly as they would
+            # serially.
+            handle.set("mode", "serial-fallback")
+            return [_collect(call(item)) for item in items]
+        handle.set("mode", f"pooled-{workers}")
+        with pool:
+            return [_collect(entry) for entry in pool.map(
+                call, items, chunksize=chunk_size(len(items), workers))]
 
 
 def iter_sharded(fn: Callable[[T], R], items: Sequence[T],
@@ -116,9 +156,10 @@ def iter_sharded(fn: Callable[[T], R], items: Sequence[T],
     generator with identical results.
     """
     items = list(items)
+    call = partial(_timed_task, fn, tracing.current_trace_id())
     if processes <= 1 or len(items) <= 1:
         for item in items:
-            yield fn(item)
+            yield _collect(call(item))
         return
     workers = min(processes, len(items))
     ctx = _pool_context()
@@ -126,9 +167,10 @@ def iter_sharded(fn: Callable[[T], R], items: Sequence[T],
         pool = ctx.Pool(workers)
     except (OSError, PermissionError, RuntimeError, ImportError):
         for item in items:
-            yield fn(item)
+            yield _collect(call(item))
         return
     # ``with pool`` terminates workers even when the consumer abandons
     # the generator mid-campaign (generator .close() runs the finally).
     with pool:
-        yield from pool.imap(fn, items, chunksize=1)
+        for entry in pool.imap(call, items, chunksize=1):
+            yield _collect(entry)

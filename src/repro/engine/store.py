@@ -34,16 +34,30 @@ points against one shared store):
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
 import threading
 import time
 from typing import Any
+
+from ..obs import get_logger, log_event, metrics
+
+_LOG = get_logger("store")
 
 #: How long one connection waits on a cross-process lock before raising.
 _BUSY_TIMEOUT = 10.0
 
 #: Bounded retry schedule (seconds) for transiently locked commits.
 _RETRY_DELAYS = (0.05, 0.1, 0.2, 0.4)
+
+_WRITES = metrics.registry().counter(
+    "store_writes_total", "committed JsonStore write transactions")
+_ROWS = metrics.registry().counter(
+    "store_rows_written_total", "rows persisted through JsonStore writes")
+_BUSY = metrics.registry().counter(
+    "store_busy_errors_total", "transient locked/busy errors hit by writes")
+_RETRIES = metrics.registry().counter(
+    "store_retries_total", "write attempts re-run after transient errors")
 
 
 def _is_transient(error: sqlite3.OperationalError) -> bool:
@@ -85,11 +99,21 @@ class JsonStore:
                         self._conn.executemany(sql, rows)
                     if commit:
                         self._conn.commit()
+                        _WRITES.inc()
+                        if rows is not None:
+                            _ROWS.inc(len(rows))
                     return
                 except sqlite3.OperationalError as error:
                     self._conn.rollback()
-                    if delay is None or not _is_transient(error):
+                    if not _is_transient(error):
                         raise
+                    _BUSY.inc()
+                    if delay is None:
+                        raise
+                    _RETRIES.inc()
+                    log_event(_LOG, "transient lock, retrying write",
+                              level=logging.WARNING, attempt=attempt + 1,
+                              delay=delay, error=str(error))
                     time.sleep(delay)
 
     # -- mapping interface ------------------------------------------------

@@ -9,12 +9,16 @@
     nanoxbar bench xnor2          # inspect one benchmark function
     nanoxbar serve                # start the async batch server
     nanoxbar submit ...           # drive a running server
+    nanoxbar stats                # telemetry snapshot of a running server
+    nanoxbar batch --profile      # span-tree timing breakdown
+    nanoxbar --log-json ...       # structured JSON logs on stderr
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sqlite3
 import sys
 
@@ -367,12 +371,63 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from http.client import HTTPException
+
+    from ..server.client import ServerClient, ServerError
+
+    client = ServerClient(args.host, args.port, timeout=args.timeout)
+    try:
+        stats = client.stats()
+    except (OSError, HTTPException, ServerError) as error:
+        print(f"error: cannot fetch stats from {args.host}:{args.port}: "
+              f"{error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    queue = stats.get("queue", {})
+    engine = stats.get("engine", {})
+    print("queue:  " + "  ".join(f"{key}={queue[key]}"
+                                 for key in sorted(queue)))
+    if engine:
+        wins = engine.pop("strategy_wins", {})
+        print("engine: " + "  ".join(
+            f"{key}={engine[key]:.3g}" if isinstance(engine[key], float)
+            else f"{key}={engine[key]}" for key in sorted(engine)))
+        if wins:
+            print("wins:   " + "  ".join(f"{name}={count}"
+                                         for name, count in wins.items()))
+    snapshot = stats.get("metrics", {})
+    counters = snapshot.get("counters", {})
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            for label_text in sorted(counters[name]):
+                suffix = f"{{{label_text}}}" if label_text else ""
+                print(f"  {name}{suffix} = {counters[name][label_text]}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        print("latency histograms:")
+        for name in sorted(histograms):
+            for label_text in sorted(histograms[name]):
+                series = histograms[name][label_text]
+                suffix = f"{{{label_text}}}" if label_text else ""
+                print(f"  {name}{suffix}: count={series['count']} "
+                      f"p50={series['p50']:.4g}s p90={series['p90']:.4g}s "
+                      f"p99={series['p99']:.4g}s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nanoxbar",
         description="Nano-crossbar synthesis & fault tolerance experiments "
                     "(Altun, Ciriani, Tahoori — DATE 2017 reproduction)",
     )
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured JSON logs on stderr "
+                             "(equivalent to NANOXBAR_LOG=json)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
@@ -420,6 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also build TMR redundancy around each lattice")
     batch.add_argument("--seed", type=int, default=0,
                        help="seed for the fault-tolerance post-processing")
+    batch.add_argument("--profile", action="store_true",
+                       help="print a span-tree timing breakdown afterwards")
     batch.set_defaults(fn=_cmd_batch)
 
     faultsim = sub.add_parser(
@@ -454,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persistent campaign-store path")
     faultsim.add_argument("--no-cache", action="store_true",
                           help="skip campaign persistence")
+    faultsim.add_argument("--profile", action="store_true",
+                          help="print a span-tree timing breakdown "
+                               "afterwards")
     faultsim.set_defaults(fn=_cmd_faultsim)
 
     varsweep = sub.add_parser(
@@ -485,6 +545,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persistent campaign-store path")
     varsweep.add_argument("--no-cache", action="store_true",
                           help="skip campaign persistence")
+    varsweep.add_argument("--profile", action="store_true",
+                          help="print a span-tree timing breakdown "
+                               "afterwards")
     varsweep.set_defaults(fn=_cmd_varsweep)
 
     serve = sub.add_parser(
@@ -554,12 +617,36 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--batch-size", type=int, default=50,
                         help="[campaigns] trials per sharded batch")
     submit.set_defaults(fn=_cmd_submit)
+
+    stats = sub.add_parser(
+        "stats",
+        help="fetch and pretty-print a running server's queue, engine "
+             "and telemetry snapshot")
+    stats.add_argument("--host", default="127.0.0.1",
+                       help="server address")
+    stats.add_argument("--port", type=int, default=8351,
+                       help="server port")
+    stats.add_argument("--timeout", type=float, default=30.0,
+                       help="request timeout in seconds")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw /api/stats JSON instead")
+    stats.set_defaults(fn=_cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_json or os.environ.get("NANOXBAR_LOG"):
+        from ..obs import configure_logging
+        configure_logging(json_mode=True if args.log_json else None)
+    if getattr(args, "profile", False):
+        from ..obs import profiled
+        with profiled(f"cli.{args.command}") as prof:
+            code = args.fn(args)
+        print()
+        print(prof.render())
+        return code
     return args.fn(args)
 
 

@@ -38,6 +38,23 @@ import numpy as np
 
 from ..engine.pool import batch_sizes, iter_sharded
 from ..engine.store import JsonStore
+from ..obs import get_logger, log_event, metrics, tracing
+
+_LOG = get_logger("faultlab")
+
+_POINTS = metrics.registry()
+_POINT_SECONDS = _POINTS.histogram(
+    "campaign_point_seconds", "wall-clock per completed campaign grid point",
+    labels={"family": "faultsim"})
+_POINTS_DONE = _POINTS.counter(
+    "campaign_points_total", "campaign grid points by terminal status",
+    labels={"family": "faultsim", "status": "completed"})
+_POINTS_CACHED = _POINTS.counter(
+    "campaign_points_total", "campaign grid points by terminal status",
+    labels={"family": "faultsim", "status": "cached"})
+_POINTS_FAILED = _POINTS.counter(
+    "campaign_points_total", "campaign grid points by terminal status",
+    labels={"family": "faultsim", "status": "failed"})
 from .kernels import recovered_k_batch, recovered_k_exact_batch
 from .maps import bernoulli_defect_batch, clustered_defect_batch
 
@@ -362,18 +379,34 @@ def _iter_campaign(spec: CampaignSpec, store: JsonStore | None,
     results = iter_sharded(_point_batch_task, tasks, processes)
     for point, cached, task_count in plans:
         if cached is not None:
+            _POINTS_CACHED.inc()
             yield cached
             continue
-        accumulator = np.zeros(point.n + 1, dtype=np.int64)
-        for _ in range(task_count):
-            accumulator += np.array(next(results), dtype=np.int64)
-        estimate = PointEstimate(point, tuple(int(x) for x in accumulator),
-                                 cache_hit=False)
-        if store is not None:
-            store.put(point.key(), {
-                "k_histogram": list(estimate.k_histogram),
-                "trials": point.trials,
-            })
+        # The span closes before the yield: it times sampling + persist,
+        # not however long the consumer sits on the estimate.
+        with tracing.span("faultlab.point", key=point.key()):
+            point_start = time.perf_counter()
+            try:
+                accumulator = np.zeros(point.n + 1, dtype=np.int64)
+                for _ in range(task_count):
+                    accumulator += np.array(next(results), dtype=np.int64)
+                estimate = PointEstimate(
+                    point, tuple(int(x) for x in accumulator),
+                    cache_hit=False)
+                if store is not None:
+                    store.put(point.key(), {
+                        "k_histogram": list(estimate.k_histogram),
+                        "trials": point.trials,
+                    })
+            except Exception:
+                _POINTS_FAILED.inc()
+                raise
+            point_seconds = time.perf_counter() - point_start
+            _POINT_SECONDS.observe(point_seconds)
+            _POINTS_DONE.inc()
+            log_event(_LOG, "point done", key=point.key(),
+                      trials=point.trials,
+                      seconds=round(point_seconds, 6))
         yield estimate
 
 

@@ -1,0 +1,71 @@
+"""repro.obs — metrics, tracing and structured logging for the stack.
+
+The stdlib-only telemetry subsystem every hot layer reports into:
+
+* :mod:`repro.obs.metrics` — a process-global, thread-safe
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  fixed-bucket latency histograms with p50/p90/p99), snapshot-able to
+  dicts and renderable in Prometheus text exposition format
+  (``GET /api/metrics``);
+* :mod:`repro.obs.tracing` — lightweight spans with monotonic timings,
+  trace/span IDs propagated from the server boundary through the job
+  queue, worker bridge, engine and pool shards, a bounded in-memory ring
+  of completed spans and an optional JSONL sink (``NANOXBAR_TRACE``);
+* :mod:`repro.obs.logging` — JSON log records carrying trace IDs
+  (``nanoxbar --log-json`` / ``NANOXBAR_LOG=json``);
+* :mod:`repro.obs.profile` — the ``--profile`` span-tree breakdown.
+
+``NANOXBAR_OBS=0`` (or :func:`set_enabled`) turns the whole subsystem
+into cheap no-ops; ``benchmarks/bench_obs.py`` pins the enabled-mode
+overhead on the warm engine path under 3%.
+"""
+
+from ._state import enabled, set_enabled
+from .logging import configure as configure_logging
+from .logging import get_logger, log_event
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from .profile import ProfileReport, profiled, render_span_tree
+from .tracing import (
+    clear_spans,
+    current_trace_id,
+    new_trace_id,
+    recent_spans,
+    record_span,
+    reset_current_trace,
+    set_current_trace,
+    set_trace_sink,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileReport",
+    "clear_spans",
+    "configure_logging",
+    "current_trace_id",
+    "enabled",
+    "get_logger",
+    "log_event",
+    "new_trace_id",
+    "profiled",
+    "recent_spans",
+    "record_span",
+    "registry",
+    "render_span_tree",
+    "reset_current_trace",
+    "set_current_trace",
+    "set_enabled",
+    "set_trace_sink",
+    "span",
+]

@@ -1,0 +1,29 @@
+"""The telemetry on/off switch shared by metrics and tracing.
+
+A single module-level flag (reads are GIL-atomic) checked at every
+*operation* — counter increments, span entries — not at instrument
+creation.  Handles resolved while telemetry is off therefore come alive
+when it is switched back on, which is what the overhead benchmark
+(``benchmarks/bench_obs.py``) relies on to compare the same engine with
+instrumentation on and off.
+
+``NANOXBAR_OBS=0`` (or ``off``/``false``) disables telemetry at import.
+"""
+
+from __future__ import annotations
+
+import os
+
+_enabled: bool = os.environ.get("NANOXBAR_OBS", "1").lower() not in (
+    "0", "off", "false")
+
+
+def enabled() -> bool:
+    """Is the telemetry subsystem currently recording?"""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Turn telemetry recording on or off process-wide."""
+    global _enabled
+    _enabled = bool(value)

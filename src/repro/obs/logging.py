@@ -1,0 +1,98 @@
+"""Structured JSON logging carrying trace IDs.
+
+The stack logs through named children of the ``nanoxbar`` logger
+(:func:`get_logger`).  Unconfigured, that root holds a ``NullHandler`` —
+libraries stay silent.  :func:`configure` (called by the CLI) installs a
+stderr handler in one of two modes:
+
+* **text** — the classic one-line human format;
+* **json** — one JSON object per line: timestamp, level, logger,
+  message, the ambient trace ID from :mod:`repro.obs.tracing`, plus any
+  structured fields passed via ``logger.info(msg, extra={"data": {...}})``
+  or the :func:`log_event` helper.
+
+Selection order: an explicit ``json_mode`` argument (the ``nanoxbar
+--log-json`` flag) wins, else the ``NANOXBAR_LOG`` environment variable
+(``json`` / ``text`` / ``off``), else text.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Any, TextIO
+
+from . import tracing
+
+_ROOT_NAME = "nanoxbar"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, trace ID included when present."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace_id = tracing.current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            payload.update(data)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(json_mode: bool | None = None,
+              level: int | str | None = None,
+              stream: TextIO | None = None) -> logging.Logger:
+    """Install (or replace) the ``nanoxbar`` log handler.
+
+    Args:
+        json_mode: ``True`` forces JSON lines, ``False`` forces text,
+            ``None`` defers to ``NANOXBAR_LOG`` (``json``/``text``/``off``).
+        level: log level (default ``NANOXBAR_LOG_LEVEL`` or ``INFO``).
+        stream: destination (default ``sys.stderr``).
+    """
+    env = os.environ.get("NANOXBAR_LOG", "").lower()
+    if json_mode is None:
+        json_mode = env == "json"
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    if env in ("off", "0", "none") and not json_mode:
+        root.addHandler(logging.NullHandler())
+        return root
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_mode:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"))
+    root.addHandler(handler)
+    if level is None:
+        level = os.environ.get("NANOXBAR_LOG_LEVEL", "INFO")
+    root.setLevel(level if isinstance(level, int)
+                  else getattr(logging, str(level).upper(), logging.INFO))
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced stack logger (``nanoxbar.<name>``)."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def log_event(logger: logging.Logger, message: str,
+              level: int = logging.INFO, **fields: Any) -> None:
+    """Log ``message`` with structured ``fields`` (JSON mode keeps them)."""
+    logger.log(level, message, extra={"data": fields})

@@ -1,0 +1,95 @@
+"""Span-tree profiling: collect a run's spans, render a timing breakdown.
+
+``nanoxbar batch/faultsim/varsweep --profile`` wraps the whole command in
+:func:`profiled`: a root span is opened (so every span the run produces
+shares one trace), completed spans are collected through a tracing
+listener, and on exit :func:`render_span_tree` prints an indented tree —
+sibling spans of the same name aggregated into one line with count,
+total, average and share-of-parent::
+
+    cli.faultsim                        1x   2.431s
+      faultlab.point                    4x   2.380s  97.9%  avg 0.595s
+        pool.shard                     16x   2.104s  88.4%  avg 0.131s
+
+Synthetic spans (pool shards timed inside worker processes, queue waits)
+appear exactly like context-manager spans — they were recorded with the
+same trace and parent IDs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import tracing
+
+
+def _aggregate(children: list[dict]) -> list[tuple[str, list[dict]]]:
+    """Group sibling spans by name, preserving first-seen order."""
+    groups: dict[str, list[dict]] = {}
+    for child in sorted(children, key=lambda s: s["start"]):
+        groups.setdefault(child["name"], []).append(child)
+    return list(groups.items())
+
+
+def render_span_tree(spans: list[dict]) -> str:
+    """Indented same-name-aggregated timing tree of ``spans``."""
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[str | None, list[dict]] = {}
+    for s in spans:
+        parent = s["parent_id"] if s["parent_id"] in by_id else None
+        children.setdefault(parent, []).append(s)
+
+    lines: list[str] = []
+
+    def emit(group_spans: list[dict], depth: int,
+             parent_total: float | None) -> None:
+        name = group_spans[0]["name"]
+        count = len(group_spans)
+        total = sum(s["duration"] for s in group_spans)
+        label = f"{'  ' * depth}{name}"
+        line = f"{label:<40s} {count:>5d}x {total:>9.3f}s"
+        if parent_total and parent_total > 0:
+            line += f" {100.0 * total / parent_total:5.1f}%"
+        if count > 1:
+            line += f"  avg {total / count:.3f}s"
+        lines.append(line)
+        merged: list[dict] = []
+        for s in group_spans:
+            merged.extend(children.get(s["span_id"], []))
+        for _name, group in _aggregate(merged):
+            emit(group, depth + 1, total)
+
+    for _name, group in _aggregate(children.get(None, [])):
+        emit(group, 0, None)
+    return "\n".join(lines)
+
+
+class ProfileReport:
+    """The collector ``profiled`` yields; render after the block exits."""
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+        self.trace_id: str | None = None
+
+    def render(self) -> str:
+        spans = self.spans
+        if self.trace_id is not None:
+            spans = [s for s in spans if s["trace_id"] == self.trace_id]
+        return render_span_tree(spans)
+
+
+@contextmanager
+def profiled(name: str = "profile", **fields) -> Iterator[ProfileReport]:
+    """Collect every span completed inside the block under a root span."""
+    report = ProfileReport()
+    listener = report.spans.append
+    tracing.add_span_listener(listener)
+    try:
+        with tracing.span(name, **fields) as handle:
+            report.trace_id = handle.trace_id
+            yield report
+    finally:
+        tracing.remove_span_listener(listener)

@@ -6,7 +6,10 @@ incremental per-point stream.  Endpoints:
 
 ==========================  ==========================================
 ``GET  /healthz``           liveness probe (also reports queue depth)
-``GET  /api/stats``         queue + engine hit/dedup statistics
+``GET  /api/stats``         queue + engine statistics, metrics snapshot
+                            and recent trace spans
+``GET  /api/metrics``       Prometheus text exposition of every counter,
+                            gauge and latency histogram
 ``POST /api/submit``        submit a job; returns ``job_id`` (+ whether
                             it coalesced onto an in-flight twin)
 ``GET  /api/status/<id>``   lifecycle snapshot, points done/total
@@ -25,10 +28,13 @@ HTTP/1.1 peer: ``curl`` works against every endpoint above.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
+import time
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import metrics, tracing
 from .protocol import ProtocolError, dumps, parse_submission
 from .queue import JobQueue, ServedJob
 from .worker import WorkerBridge
@@ -48,10 +54,48 @@ _REASONS = {
     500: "Internal Server Error",
 }
 
+#: Prometheus text exposition format version served on ``/api/metrics``.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
-def _head(status: int, extra: str = "") -> bytes:
+#: Per-handler request info for the HTTP latency histogram.  A
+#: contextvar because handlers are concurrent asyncio tasks: each task
+#: sees only its own request.
+_REQUEST: contextvars.ContextVar[dict | None] = contextvars.ContextVar(
+    "nanoxbar_http_request", default=None)
+
+#: Endpoints kept as-is in the ``endpoint`` label; job-scoped paths are
+#: collapsed to their prefix so the label set stays bounded.
+_KNOWN_ENDPOINTS = frozenset({
+    "/healthz", "/api/stats", "/api/metrics", "/api/submit",
+    "/api/shutdown",
+})
+_PREFIX_ENDPOINTS = ("/api/status/", "/api/result/", "/api/stream/")
+
+
+def _endpoint_label(path: str) -> str:
+    for prefix in _PREFIX_ENDPOINTS:
+        if path.startswith(prefix):
+            return prefix.rstrip("/")
+    return path if path in _KNOWN_ENDPOINTS else "other"
+
+
+def _observe_http(status: int) -> None:
+    """Record one request's latency; first terminal response wins."""
+    info = _REQUEST.get()
+    if info is None:
+        return
+    _REQUEST.set(None)
+    metrics.registry().histogram(
+        "server_http_request_seconds",
+        "HTTP request latency by endpoint and status",
+        labels={"endpoint": info["endpoint"], "status": str(status)},
+    ).observe(time.perf_counter() - info["start"])
+
+
+def _head(status: int, extra: str = "",
+          content_type: str = "application/json") -> bytes:
     return (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Connection: close\r\n{extra}\r\n").encode()
 
 
@@ -143,6 +187,8 @@ class BatchServer:
             request = await self._read_request(reader)
             if request is not None:
                 method, path, query, body = request
+                _REQUEST.set({"endpoint": _endpoint_label(path),
+                              "start": time.perf_counter()})
                 await self._route(writer, method, path, query, body)
         except asyncio.TimeoutError:
             pass  # trickling body: drop the connection like a broken peer
@@ -210,6 +256,16 @@ class BatchServer:
         body = dumps(payload) + b"\n"
         writer.write(_head(status, f"Content-Length: {len(body)}\r\n"))
         writer.write(body)
+        _observe_http(status)
+        await writer.drain()
+
+    async def _respond_text(self, writer: asyncio.StreamWriter, status: int,
+                            text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        writer.write(_head(status, f"Content-Length: {len(body)}\r\n",
+                           content_type=content_type))
+        writer.write(body)
+        _observe_http(status)
         await writer.drain()
 
     # -- routing ----------------------------------------------------------
@@ -221,10 +277,20 @@ class BatchServer:
                 **self.queue.snapshot(),
             })
         elif path == "/api/stats" and method == "GET":
+            # The queue snapshot is loop-side state; the bridge half
+            # touches SQLite (store/cache occupancy counts), so it runs
+            # in an executor instead of blocking the event loop.
+            queue_snapshot = self.queue.snapshot()
+            extra = await self._loop.run_in_executor(None,
+                                                     self._stats_payload)
             await self._respond(writer, 200, {
-                "queue": self.queue.snapshot(),
-                **self.bridge.stats(),
+                "queue": queue_snapshot,
+                **extra,
             })
+        elif path == "/api/metrics" and method == "GET":
+            await self._respond_text(
+                writer, 200, metrics.registry().render_prometheus(),
+                METRICS_CONTENT_TYPE)
         elif path == "/api/submit":
             if method != "POST":
                 await self._respond(writer, 405,
@@ -265,7 +331,16 @@ class BatchServer:
             "coalesced": coalesced,
             "state": job.state,
             "points_total": submission.points_total,
+            "trace_id": job.trace_id,
         })
+
+    def _stats_payload(self) -> dict:
+        """The blocking half of ``/api/stats`` (runs off the loop)."""
+        return {
+            **self.bridge.stats(),
+            "metrics": metrics.registry().snapshot(),
+            "recent_spans": tracing.recent_spans(limit=50),
+        }
 
     async def _with_job(self, writer, path: str, handler) -> None:
         job_id = path.rsplit("/", 1)[-1]
@@ -304,6 +379,7 @@ class BatchServer:
         await chunk({"state": job.state, "error": job.error,
                      "points_total": job.submission.points_total})
         writer.write(b"0\r\n\r\n")
+        _observe_http(200)
         await writer.drain()
 
 

@@ -72,6 +72,19 @@ class ServerClient:
     def stats(self) -> dict:
         return self._request("GET", "/api/stats")
 
+    def metrics(self) -> str:
+        """Fetch ``/api/metrics`` — raw Prometheus text exposition."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/api/metrics")
+            response = conn.getresponse()
+            data = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServerError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
     def submit(self, payload: dict) -> dict:
         """Submit one job; returns ``{job_id, coalesced, state, ...}``."""
         return self._request("POST", "/api/submit", payload)

@@ -21,6 +21,9 @@ import asyncio
 import itertools
 import time
 
+from ..obs import get_logger, log_event, metrics, tracing
+
+_LOG = get_logger("server")
 from .protocol import Submission
 from .worker import WorkerBridge
 
@@ -31,12 +34,48 @@ QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
 #: oldest beyond this are evicted so a long-lived server stays bounded.
 MAX_RETAINED_JOBS = 1024
 
+_REG = metrics.registry()
+_DEPTH = _REG.gauge(
+    "server_queue_depth", "jobs currently queued or running")
+_STREAM_READERS = _REG.gauge(
+    "server_stream_readers", "chunked-stream readers currently attached")
+
+
+def _queue_wait(kind: str) -> metrics.Histogram:
+    return _REG.histogram(
+        "server_queue_wait_seconds",
+        "submit-to-running latency per job family", labels={"kind": kind})
+
+
+def _job_seconds(kind: str) -> metrics.Histogram:
+    return _REG.histogram(
+        "server_job_seconds",
+        "submit-to-terminal latency per job family", labels={"kind": kind})
+
+
+def _jobs_total(kind: str, state: str) -> metrics.Counter:
+    return _REG.counter(
+        "server_jobs_total", "jobs finished, by family and terminal state",
+        labels={"kind": kind, "state": state})
+
+
+def _submissions_total(kind: str) -> metrics.Counter:
+    return _REG.counter(
+        "server_submissions_total", "submissions accepted per job family",
+        labels={"kind": kind})
+
+
+def _coalesced_total(kind: str) -> metrics.Counter:
+    return _REG.counter(
+        "server_coalesced_total",
+        "submissions folded onto an existing job", labels={"kind": kind})
+
 
 class ServedJob:
     """One computation and everything observed about it so far."""
 
     def __init__(self, job_id: str, submission: Submission,
-                 on_failed=None):
+                 on_failed=None, trace_id: str | None = None):
         self.job_id = job_id
         self.submission = submission
         self.state = QUEUED
@@ -45,6 +84,9 @@ class ServedJob:
         self.created = time.time()
         self.finished: float | None = None
         self.subscribers = 1
+        #: One trace per computation; coalesced submissions share it.
+        self.trace_id = trace_id or tracing.new_trace_id()
+        self._created_mono = time.perf_counter()
         self._cond = asyncio.Condition()
         self._on_failed = on_failed
 
@@ -61,6 +103,7 @@ class ServedJob:
             "points_done": len(self.points),
             "points_total": self.submission.points_total,
             "subscribers": self.subscribers,
+            "trace_id": self.trace_id,
             "error": self.error,
         }
 
@@ -77,23 +120,41 @@ class ServedJob:
 
     # -- loop-side mutation (scheduled from the worker thread) -----------
     async def publish(self, event: str, data) -> None:
+        kind = self.submission.kind
         async with self._cond:
             if event == "running":
                 self.state = RUNNING
+                wait = time.perf_counter() - self._created_mono
+                _queue_wait(kind).observe(wait)
+                tracing.record_span("server.queue_wait", wait,
+                                    trace_id=self.trace_id,
+                                    job_id=self.job_id, kind=kind)
             elif event == "point":
                 self.points.append(data)
             elif event == "done":
                 self.state = DONE
                 self.finished = time.time()
+                self._observe_terminal(kind)
             elif event == "failed":
                 self.state = FAILED
                 self.error = str(data)
                 self.finished = time.time()
+                self._observe_terminal(kind)
                 if self._on_failed is not None:
                     # Same loop step as the state flip — no submit can
                     # coalesce onto a failed-but-not-yet-evicted key.
                     self._on_failed(self)
             self._cond.notify_all()
+
+    def _observe_terminal(self, kind: str) -> None:
+        seconds = time.perf_counter() - self._created_mono
+        _job_seconds(kind).observe(seconds)
+        _jobs_total(kind, self.state).inc()
+        _DEPTH.dec()
+        log_event(_LOG, "job finished", job_id=self.job_id, kind=kind,
+                  state=self.state, trace_id=self.trace_id,
+                  points=len(self.points), seconds=round(seconds, 6),
+                  **({"error": self.error} if self.error else {}))
 
     async def wait(self) -> None:
         """Block until the job completes."""
@@ -108,19 +169,23 @@ class ServedJob:
         replayed first, so coalesced late-joiners see the full sequence.
         """
         cursor = 0
-        while True:
-            async with self._cond:
-                await self._cond.wait_for(
-                    lambda: len(self.points) > cursor or self.complete)
-                fresh = self.points[cursor:]
-                cursor = len(self.points)
-                # Events publish in emission order, so once the job is
-                # complete the points list is final — nothing trails in.
-                ended = self.complete
-            for record in fresh:
-                yield record
-            if ended:
-                return
+        _STREAM_READERS.inc()
+        try:
+            while True:
+                async with self._cond:
+                    await self._cond.wait_for(
+                        lambda: len(self.points) > cursor or self.complete)
+                    fresh = self.points[cursor:]
+                    cursor = len(self.points)
+                    # Events publish in emission order, so once the job is
+                    # complete the points list is final — nothing trails in.
+                    ended = self.complete
+                for record in fresh:
+                    yield record
+                if ended:
+                    return
+        finally:
+            _STREAM_READERS.dec()
 
 
 class JobQueue:
@@ -150,9 +215,11 @@ class JobQueue:
         original is still queued, mid-flight, or already finished.
         """
         self.stats["submitted"] += 1
+        _submissions_total(submission.kind).inc()
         existing = self._by_key.get(submission.coalesce_key)
         if existing is not None:
             self.stats["coalesced"] += 1
+            _coalesced_total(submission.kind).inc()
             existing.subscribers += 1
             return existing, True
         job = ServedJob(f"job-{next(self._ids):06d}", submission,
@@ -160,6 +227,7 @@ class JobQueue:
         self._jobs[job.job_id] = job
         self._by_key[submission.coalesce_key] = job
         self.stats["computations"] += 1
+        _DEPTH.inc()
         task = self._loop.create_task(self._dispatch(job))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -178,7 +246,7 @@ class JobQueue:
 
         await self._loop.run_in_executor(
             self._bridge.executor, self._bridge.run_submission,
-            job.submission, emit)
+            job.submission, emit, job.trace_id)
         await job.wait()
         self.stats["completed" if job.state == DONE else "failed"] += 1
         self._evict_old_jobs()

@@ -22,6 +22,7 @@ from typing import Callable
 
 from ..engine import BatchEngine, JsonStore
 from ..faultlab import iter_campaign
+from ..obs import tracing
 from ..varsim import iter_variation_campaign
 from .protocol import (
     Submission,
@@ -61,31 +62,50 @@ class WorkerBridge:
     def executor(self) -> ThreadPoolExecutor:
         return self._executor
 
-    def run_submission(self, submission: Submission, emit: EmitFn) -> None:
-        """Worker-thread body: compute one submission, emitting progress."""
-        emit("running", None)
+    def run_submission(self, submission: Submission, emit: EmitFn,
+                       trace_id: str | None = None) -> None:
+        """Worker-thread body: compute one submission, emitting progress.
+
+        ``trace_id`` (assigned by the job queue at the server boundary)
+        is installed as this thread's ambient trace before any compute
+        starts, so every span below — worker, engine batch, campaign
+        point, pool shard — lands in the submitting job's trace.
+        """
+        token = tracing.set_current_trace(trace_id) \
+            if trace_id is not None else None
         try:
-            if submission.kind == "synthesis":
-                # Non-blocking handoff to the engine's dedicated batch
-                # thread; this worker thread just waits for the wave.
-                for result in self.engine.submit(submission.jobs).result():
-                    emit("point", job_result_record(result))
-            elif submission.kind == "faultsim":
-                for estimate in iter_campaign(submission.spec,
-                                              store=self.store,
-                                              processes=self.processes):
-                    emit("point", fault_estimate_record(estimate))
-            elif submission.kind == "varsweep":
-                for estimate in iter_variation_campaign(
-                        submission.spec, store=self.store,
-                        processes=self.processes):
-                    emit("point", variation_estimate_record(estimate))
-            else:  # pragma: no cover - parse_submission gates kinds
-                raise ValueError(f"unknown kind {submission.kind!r}")
-        except Exception as error:  # noqa: BLE001 - reported to the client
-            emit("failed", f"{type(error).__name__}: {error}")
-        else:
-            emit("done", None)
+            emit("running", None)
+            with tracing.span("worker.submission", kind=submission.kind,
+                              points=submission.points_total):
+                try:
+                    if submission.kind == "synthesis":
+                        # Non-blocking handoff to the engine's dedicated
+                        # batch thread; this worker thread just waits for
+                        # the wave.
+                        for result in self.engine.submit(
+                                submission.jobs).result():
+                            emit("point", job_result_record(result))
+                    elif submission.kind == "faultsim":
+                        for estimate in iter_campaign(
+                                submission.spec, store=self.store,
+                                processes=self.processes):
+                            emit("point", fault_estimate_record(estimate))
+                    elif submission.kind == "varsweep":
+                        for estimate in iter_variation_campaign(
+                                submission.spec, store=self.store,
+                                processes=self.processes):
+                            emit("point",
+                                 variation_estimate_record(estimate))
+                    else:  # pragma: no cover - parse_submission gates kinds
+                        raise ValueError(
+                            f"unknown kind {submission.kind!r}")
+                except Exception as error:  # noqa: BLE001 - sent to client
+                    emit("failed", f"{type(error).__name__}: {error}")
+                else:
+                    emit("done", None)
+        finally:
+            if token is not None:
+                tracing.reset_current_trace(token)
 
     def stats(self) -> dict:
         """Engine hit/dedup statistics plus store occupancy."""

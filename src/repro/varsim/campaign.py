@@ -47,6 +47,23 @@ from ..boolean.cube import Literal
 from ..crossbar.lattice import Lattice
 from ..engine.pool import batch_sizes, iter_sharded
 from ..engine.store import JsonStore
+from ..obs import get_logger, log_event, metrics, tracing
+
+_LOG = get_logger("varsim")
+
+_POINTS = metrics.registry()
+_POINT_SECONDS = _POINTS.histogram(
+    "campaign_point_seconds", "wall-clock per completed campaign grid point",
+    labels={"family": "varsweep"})
+_POINTS_DONE = _POINTS.counter(
+    "campaign_points_total", "campaign grid points by terminal status",
+    labels={"family": "varsweep", "status": "completed"})
+_POINTS_CACHED = _POINTS.counter(
+    "campaign_points_total", "campaign grid points by terminal status",
+    labels={"family": "varsweep", "status": "cached"})
+_POINTS_FAILED = _POINTS.counter(
+    "campaign_points_total", "campaign grid points by terminal status",
+    labels={"family": "varsweep", "status": "failed"})
 from ..xbareval.delay import onset_critical_delay_batch
 from .ensembles import (
     lognormal_variation_batch,
@@ -364,22 +381,37 @@ def _iter_variation_campaign(spec: VariationCampaignSpec,
     results = iter_sharded(_point_batch_task, tasks, processes)
     for point, cached, task_count in plans:
         if cached is not None:
+            _POINTS_CACHED.inc()
             yield cached
             continue
-        aware: list[float] = []
-        oblivious: list[float] = []
-        for _ in range(task_count):
-            batch_aware, batch_oblivious = next(results)
-            aware.extend(batch_aware)
-            oblivious.extend(batch_oblivious)
-        estimate = VariationPointEstimate(point, tuple(aware),
-                                          tuple(oblivious),
-                                          cache_hit=False)
-        if store is not None:
-            store.put(point.key(), {
-                "aware": list(estimate.aware_delays),
-                "oblivious": list(estimate.oblivious_delays),
-            })
+        # The span closes before the yield: it times sampling + persist,
+        # not however long the consumer sits on the estimate.
+        with tracing.span("varsim.point", key=point.key()):
+            point_start = time.perf_counter()
+            try:
+                aware: list[float] = []
+                oblivious: list[float] = []
+                for _ in range(task_count):
+                    batch_aware, batch_oblivious = next(results)
+                    aware.extend(batch_aware)
+                    oblivious.extend(batch_oblivious)
+                estimate = VariationPointEstimate(point, tuple(aware),
+                                                  tuple(oblivious),
+                                                  cache_hit=False)
+                if store is not None:
+                    store.put(point.key(), {
+                        "aware": list(estimate.aware_delays),
+                        "oblivious": list(estimate.oblivious_delays),
+                    })
+            except Exception:
+                _POINTS_FAILED.inc()
+                raise
+            point_seconds = time.perf_counter() - point_start
+            _POINT_SECONDS.observe(point_seconds)
+            _POINTS_DONE.inc()
+            log_event(_LOG, "point done", key=point.key(),
+                      trials=point.trials,
+                      seconds=round(point_seconds, 6))
         yield estimate
 
 

@@ -1,0 +1,350 @@
+"""Tests for repro.obs: metrics registry, tracing, logging, profiling."""
+
+import io
+import json
+import re
+import threading
+
+import pytest
+
+from repro.engine.engine import EngineStats
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    clear_spans,
+    configure_logging,
+    get_logger,
+    log_event,
+    profiled,
+    recent_spans,
+    record_span,
+    render_span_tree,
+    set_enabled,
+    span,
+)
+from repro.obs.tracing import SPAN_RING_SIZE, add_span_listener, \
+    remove_span_listener
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g", "help")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_same_name_same_labels_shares_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("shared_total", "help", labels={"kind": "x"})
+        b = reg.counter("shared_total", "help", kind="x")
+        c = reg.counter("shared_total", "help", kind="y")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("thing_total", "help")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name", "help")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "help", labels={"bad-label": "x"})
+
+
+class TestRegistryConcurrency:
+    def test_threaded_increments_are_exact(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits_total", "help")
+        hist = reg.histogram("lat_seconds", "help")
+        gauge = reg.gauge("depth", "help")
+        threads, per_thread = 16, 500
+        barrier = threading.Barrier(threads)
+
+        def work():
+            barrier.wait()
+            for i in range(per_thread):
+                counter.inc()
+                gauge.inc()
+                gauge.dec()
+                hist.observe(0.001 * (i % 20))
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert counter.value == threads * per_thread
+        assert gauge.value == 0
+        assert hist.count == threads * per_thread
+
+    def test_threaded_label_resolution_is_exact(self):
+        reg = MetricsRegistry()
+        threads = 12
+        barrier = threading.Barrier(threads)
+
+        def work(index):
+            barrier.wait()
+            for _ in range(200):
+                reg.counter("fam_total", "help",
+                            labels={"worker": str(index % 3)}).inc()
+
+        workers = [threading.Thread(target=work, args=(i,))
+                   for i in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        snap = reg.snapshot()["counters"]["fam_total"]
+        assert sum(snap.values()) == threads * 200
+
+
+class TestHistogram:
+    def test_quantiles_interpolate_from_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for _ in range(100):
+            hist.observe(0.5)
+        # Every sample sits in the (0.1, 1.0] bucket.
+        assert 0.1 <= hist.quantile(0.5) <= 1.0
+        assert hist.quantile(0.0) == pytest.approx(0.1, abs=0.05)
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+        assert hist.count == 100
+        assert hist.sum == pytest.approx(50.0)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("e_seconds", "help")
+        assert hist.quantile(0.99) == 0.0
+
+    def test_overflow_lands_in_inf_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("o_seconds", "help", buckets=(0.1,))
+        hist.observe(5.0)
+        snap = reg.snapshot()["histograms"]["o_seconds"][""]
+        assert snap["buckets"]["+Inf"] == 1
+        assert snap["count"] == 1
+
+
+class TestPrometheusExposition:
+    LINE = re.compile(
+        r"^(?:# (?:HELP|TYPE) .+"
+        r"|[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^{}]*\})? [^ ]+)$")
+
+    def test_every_line_matches_exposition_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs", labels={"kind": "synthesis"}).inc(3)
+        reg.gauge("depth", "queue depth").set(2)
+        reg.histogram("wait_seconds", "wait", labels={"kind": "a"}) \
+            .observe(0.003)
+        text = reg.render_prometheus()
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert self.LINE.match(line), line
+
+    def test_histogram_buckets_are_cumulative_and_complete(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", "help")
+        for value in (0.0007, 0.003, 0.003, 12.0, 100.0):
+            hist.observe(value)
+        text = reg.render_prometheus()
+        counts = [int(m.group(1)) for m in re.finditer(
+            r'^lat_seconds_bucket\{le="[^"]+"\} (\d+)$', text, re.M)]
+        assert len(counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        assert re.search(r"^lat_seconds_count 5$", text, re.M)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", "help", labels={"k": 'a"b\\c'}).inc()
+        text = reg.render_prometheus()
+        assert 'esc_total{k="a\\"b\\\\c"} 1' in text
+
+
+class TestEnabledSwitch:
+    def test_disable_no_ops_preresolved_handles(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_total", "help")
+        hist = reg.histogram("t_seconds", "help")
+        counter.inc()
+        try:
+            set_enabled(False)
+            counter.inc(100)
+            hist.observe(1.0)
+            with span("disabled.block") as handle:
+                assert handle.trace_id is None
+        finally:
+            set_enabled(True)
+        counter.inc()
+        assert counter.value == 2
+        assert hist.count == 0
+
+
+class TestTracing:
+    def setup_method(self):
+        clear_spans()
+
+    def test_nested_spans_share_trace_and_parent(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+        spans = recent_spans()
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["trace_id"] == by_name["outer"]["trace_id"]
+        # Inner completes first; both durations are non-negative.
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert all(s["duration"] >= 0 for s in spans)
+
+    def test_record_span_defaults_to_ambient_context(self):
+        with span("parent") as parent:
+            record_span("synthetic", 0.25)
+        synthetic = [s for s in recent_spans() if s["name"] == "synthetic"]
+        assert synthetic[0]["trace_id"] == parent.trace_id
+        assert synthetic[0]["parent_id"] == parent.span_id
+        assert synthetic[0]["duration"] == 0.25
+
+    def test_span_records_error_and_reraises(self):
+        with pytest.raises(RuntimeError):
+            with span("exploding"):
+                raise RuntimeError("boom")
+        failed = [s for s in recent_spans() if s["name"] == "exploding"]
+        assert "RuntimeError: boom" in failed[0]["fields"]["error"]
+
+    def test_ring_is_bounded(self):
+        for index in range(SPAN_RING_SIZE + 50):
+            record_span("flood", 0.0, trace_id="t", index=index)
+        spans = recent_spans()
+        assert len(spans) == SPAN_RING_SIZE
+        # Oldest entries were evicted, newest survive.
+        assert spans[-1]["fields"]["index"] == SPAN_RING_SIZE + 49
+
+    def test_recent_spans_filters_by_trace(self):
+        record_span("a", 0.1, trace_id="trace-one")
+        record_span("b", 0.1, trace_id="trace-two")
+        only = recent_spans(trace_id="trace-one")
+        assert [s["name"] for s in only] == ["a"]
+
+    def test_listener_sees_completed_spans(self):
+        seen = []
+        add_span_listener(seen.append)
+        try:
+            with span("listened"):
+                pass
+        finally:
+            remove_span_listener(seen.append)
+        assert [s["name"] for s in seen] == ["listened"]
+
+
+class TestProfile:
+    def setup_method(self):
+        clear_spans()
+
+    def test_profiled_collects_and_renders_tree(self):
+        with profiled("cli.test") as report:
+            with span("engine.run_batch"):
+                record_span("pool.shard", 0.01)
+                record_span("pool.shard", 0.02)
+        tree = report.render()
+        lines = tree.split("\n")
+        assert lines[0].startswith("cli.test")
+        assert any(line.strip().startswith("engine.run_batch")
+                   for line in lines)
+        shard = next(line for line in lines
+                     if line.strip().startswith("pool.shard"))
+        assert "2x" in shard and "avg" in shard
+
+    def test_render_span_tree_handles_empty(self):
+        assert render_span_tree([]) == "(no spans recorded)"
+
+
+class TestEngineStatsAtomicity:
+    def test_record_run_is_atomic_under_threads(self):
+        stats = EngineStats()
+        threads, runs = 8, 100
+        barrier = threading.Barrier(threads)
+
+        def work(index):
+            barrier.wait()
+            for _ in range(runs):
+                stats.record_run(jobs=4, cache_hits=1, races_run=2,
+                                 deduped=1, elapsed=0.001,
+                                 strategy_wins={"dual": 3,
+                                                f"s{index % 3}": 1})
+
+        workers = [threading.Thread(target=work, args=(i,))
+                   for i in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        total = threads * runs
+        assert stats.jobs == 4 * total
+        assert stats.cache_hits == total
+        assert stats.cache_misses == 3 * total
+        assert stats.races_run == 2 * total
+        assert stats.deduped == total
+        assert stats.strategy_wins["dual"] == 3 * total
+        assert sum(stats.strategy_wins.values()) == 4 * total
+
+    def test_strategy_wins_snapshot_order_is_sorted(self):
+        stats = EngineStats()
+        stats.record_run(1, 0, 1, 0, 0.1, {"zeta": 1})
+        stats.record_run(1, 0, 1, 0, 0.1, {"alpha": 1})
+        snapshot = stats.as_dict()
+        assert list(snapshot["strategy_wins"]) == ["alpha", "zeta"]
+        assert list(stats.strategy_wins) == ["alpha", "zeta"]
+
+    def test_as_dict_ratios_consistent(self):
+        stats = EngineStats()
+        stats.record_run(10, 4, 6, 0, 2.0, {"dual": 10})
+        snapshot = stats.as_dict()
+        assert snapshot["hit_rate"] == pytest.approx(0.4)
+        assert snapshot["throughput"] == pytest.approx(5.0)
+
+
+class TestJsonLogging:
+    def test_json_lines_carry_trace_and_fields(self):
+        stream = io.StringIO()
+        logger = get_logger("test")
+        try:
+            configure_logging(json_mode=True, stream=stream)
+            with span("logging.block") as handle:
+                log_event(logger, "point done", points=3, family="faultsim")
+            trace_id = handle.trace_id
+        finally:
+            configure_logging(json_mode=False, stream=io.StringIO())
+        record = json.loads(stream.getvalue().strip())
+        assert record["msg"] == "point done"
+        assert record["level"] == "info"
+        assert record["logger"] == "nanoxbar.test"
+        assert record["trace_id"] == trace_id
+        assert record["points"] == 3
+        assert record["family"] == "faultsim"
+
+    def test_text_mode_still_logs(self):
+        stream = io.StringIO()
+        logger = get_logger("texty")
+        try:
+            configure_logging(json_mode=False, stream=stream)
+            logger.info("hello %s", "world")
+        finally:
+            configure_logging(json_mode=False, stream=io.StringIO())
+        assert "hello world" in stream.getvalue()

@@ -1,0 +1,162 @@
+"""End-to-end observability tests: traces and metrics through the server.
+
+One in-process listener (``serve_in_thread``) backs the module, so the
+span ring and the process-global metrics registry are shared with the
+test — a submitted job's trace can be inspected directly.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.obs import recent_spans
+from repro.server import ServerClient, serve_in_thread
+
+FAULTSIM_PAYLOAD = {
+    "kind": "faultsim", "n_values": [6], "k_values": [3],
+    "densities": [0.05], "trials": 20, "batch_size": 10,
+}
+
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$")
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = serve_in_thread(processes=1, job_workers=2)
+    yield handle
+    handle.server.request_stop()
+    handle.thread.join(timeout=30)
+
+
+@pytest.fixture()
+def client(server):
+    return ServerClient(port=server.port, timeout=120.0)
+
+
+def _parse_samples(text: str) -> dict[str, float]:
+    """Exposition text -> {series-with-labels: value} (skips comments)."""
+    samples: dict[str, float] = {}
+    for line in text.rstrip("\n").split("\n"):
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"malformed exposition line: {line!r}"
+        samples[match.group(1) + (match.group(2) or "")] = \
+            float(match.group(3))
+    return samples
+
+
+class TestTracePropagation:
+    def test_one_job_traces_across_layers(self, client):
+        submitted = client.submit({
+            "kind": "synthesis",
+            "jobs": [{"n": 2, "bits": 0b0110, "label": "trace-probe"}],
+        })
+        trace_id = submitted["trace_id"]
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+        result = client.result(submitted["job_id"])
+        assert result["state"] == "done"
+        # Spans land in the ring asynchronously relative to the HTTP
+        # result; poll briefly for the full set.
+        deadline = time.monotonic() + 5.0
+        wanted = {"server.queue_wait", "worker.submission",
+                  "engine.run_batch", "pool.shard"}
+        while time.monotonic() < deadline:
+            names = {s["name"] for s in recent_spans(trace_id=trace_id)}
+            if wanted <= names:
+                break
+            time.sleep(0.05)
+        assert wanted <= names, f"trace only covered {sorted(names)}"
+
+    def test_status_reports_the_trace_id(self, client):
+        submitted = client.submit({
+            "kind": "synthesis",
+            "jobs": [{"n": 2, "bits": 0b1000, "label": "status-probe"}],
+        })
+        status = client.status(submitted["job_id"])
+        assert status["trace_id"] == submitted["trace_id"]
+
+    def test_coalesced_submission_shares_the_trace(self, client):
+        payload = {
+            "kind": "synthesis",
+            "jobs": [{"n": 2, "bits": 0b0001, "label": "coalesce-probe"}],
+        }
+        first = client.submit(payload)
+        second = client.submit(payload)
+        assert second["coalesced"]
+        assert second["trace_id"] == first["trace_id"]
+        client.result(first["job_id"])
+
+
+class TestMetricsEndpoint:
+    def test_exposition_parses_and_counters_are_monotonic(self, client):
+        before = _parse_samples(client.metrics())
+        one = client.run({
+            "kind": "synthesis",
+            "jobs": [{"n": 3, "bits": 0b10010110, "label": "scrape-a"}],
+        })
+        assert one["state"] == "done"
+        two = client.run(FAULTSIM_PAYLOAD)
+        assert two["state"] == "done"
+        after = _parse_samples(client.metrics())
+        # Counter series never move backwards between scrapes.
+        for series, value in before.items():
+            if series.endswith("_total") or "_total{" in series \
+                    or "_bucket{" in series or "_count" in series:
+                assert after.get(series, 0) >= value, series
+        synth = 'server_jobs_total{kind="synthesis",state="done"}'
+        fault = 'server_jobs_total{kind="faultsim",state="done"}'
+        assert after[synth] >= before.get(synth, 0) + 1
+        assert after[fault] >= before.get(fault, 0) + 1
+        assert after["engine_jobs_total"] >= \
+            before.get("engine_jobs_total", 0) + 1
+
+    def test_per_family_and_per_strategy_series_present(self, client):
+        client.run({
+            "kind": "synthesis",
+            "jobs": [{"n": 3, "bits": 0b01101001, "label": "series-b"}],
+        })
+        text = client.metrics()
+        assert re.search(
+            r'^server_queue_wait_seconds_bucket\{kind="synthesis",'
+            r'le="\+Inf"\} [1-9]', text, re.M)
+        assert re.search(
+            r'^engine_strategy_seconds_count\{strategy="dual"\} [1-9]',
+            text, re.M)
+        assert "# TYPE server_queue_wait_seconds histogram" in text
+        assert "# TYPE engine_strategy_wins_total counter" in text
+
+    def test_content_type_is_prometheus_text(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/api/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == \
+                "text/plain; version=0.0.4; charset=utf-8"
+            response.read()
+        finally:
+            conn.close()
+
+
+class TestStatsEndpoint:
+    def test_stats_carries_metrics_snapshot_and_spans(self, client):
+        client.run({
+            "kind": "synthesis",
+            "jobs": [{"n": 2, "bits": 0b0111, "label": "stats-probe"}],
+        })
+        stats = client.stats()
+        assert "metrics" in stats and "recent_spans" in stats
+        snapshot = stats["metrics"]
+        assert snapshot["counters"]["engine_jobs_total"][""] >= 1
+        histograms = snapshot["histograms"]["engine_batch_seconds"][""]
+        assert histograms["count"] >= 1
+        assert {"p50", "p90", "p99", "buckets"} <= set(histograms)
+        assert len(stats["recent_spans"]) >= 1
+        assert {"name", "trace_id", "span_id", "duration"} <= \
+            set(stats["recent_spans"][0])

@@ -342,7 +342,7 @@ class _StubBridge:
         self.fail_next = False
         self.runs = 0
 
-    def run_submission(self, submission, emit):
+    def run_submission(self, submission, emit, trace_id=None):
         self.runs += 1
         emit("running", None)
         if self.fail_next:
