@@ -10,7 +10,9 @@
     nanoxbar serve                # start the async batch server
     nanoxbar submit ...           # drive a running server
     nanoxbar stats                # telemetry snapshot of a running server
+    nanoxbar top                  # live terminal view of a server's metrics
     nanoxbar batch --profile      # span-tree timing breakdown
+    nanoxbar batch --sample-profile  # sampling wall-clock profile
     nanoxbar --log-json ...       # structured JSON logs on stderr
 """
 
@@ -419,6 +421,90 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_top_frame(frame: dict, health: dict, interval: float,
+                      rows: int) -> str:
+    """One repaint of the ``nanoxbar top`` view from a recorder frame."""
+    resources = frame.get("resources", {})
+    status = health.get("status", "ok")
+    lines = [
+        f"nanoxbar top  cursor={frame['cursor']}  tick={interval:g}s  "
+        f"status={status}",
+        f"process: cpu={resources.get('cpu_seconds', 0.0):.1f}s  "
+        f"rss={resources.get('rss_bytes', 0) / 2**20:.0f}MiB  "
+        f"max_rss={resources.get('max_rss_bytes', 0) / 2**20:.0f}MiB",
+    ]
+    for alert in health.get("alerts", []):
+        lines.append(f"ALERT {alert['rule']}: {alert['message']}")
+    counters = sorted(frame["counters"].items(),
+                      key=lambda kv: kv[1]["rate"], reverse=True)
+    if counters:
+        lines.append("")
+        lines.append(f"{'rate/s':>10s} {'delta':>8s} {'total':>10s}  counter")
+        for key, entry in counters[:rows]:
+            lines.append(f"{entry['rate']:10.2f} {entry['delta']:8g} "
+                         f"{entry['value']:10g}  {key}")
+    gauges = sorted(frame["gauges"].items())
+    if gauges:
+        lines.append("")
+        lines.append("gauges: " + "  ".join(f"{key}={value:g}"
+                                            for key, value in gauges))
+    histograms = sorted(frame["histograms"].items(),
+                        key=lambda kv: kv[1]["rate"], reverse=True)
+    if histograms:
+        lines.append("")
+        lines.append(f"{'rate/s':>10s} {'p50':>9s} {'p99':>9s}  latency")
+        for key, entry in histograms[:rows]:
+            lines.append(f"{entry['rate']:10.2f} {entry['p50']:8.4g}s "
+                         f"{entry['p99']:8.4g}s  {key}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+    from http.client import HTTPException
+
+    from ..server.client import ServerClient, ServerError
+
+    if args.local:
+        from ..obs.timeline import local_recorder
+        recorder = local_recorder()
+
+        def fetch() -> tuple[dict | None, dict, float]:
+            recorder.tick_once()
+            return recorder.latest(), {"status": "ok (local)",
+                                       "alerts": []}, recorder.interval
+    else:
+        client = ServerClient(args.host, args.port, timeout=args.timeout)
+        cursor = {"value": 0}
+
+        def fetch() -> tuple[dict | None, dict, float]:
+            page = client.history(since=max(0, cursor["value"] - 1))
+            frames = page["frames"]
+            if frames:
+                cursor["value"] = frames[-1]["cursor"]
+            return (frames[-1] if frames else None, client.health(),
+                    page["interval"])
+
+    try:
+        while True:
+            try:
+                frame, health, interval = fetch()
+            except (OSError, HTTPException, ServerError) as error:
+                print(f"error: cannot reach server at "
+                      f"{args.host}:{args.port}: {error}", file=sys.stderr)
+                return 1
+            text = (_render_top_frame(frame, health, interval, args.rows)
+                    if frame else "(no frames yet — recorder warming up)")
+            if args.once:
+                print(text)
+                return 0
+            # Full-screen repaint: clear + home, like watch(1).
+            print(f"\x1b[2J\x1b[H{text}", flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nanoxbar",
@@ -477,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for the fault-tolerance post-processing")
     batch.add_argument("--profile", action="store_true",
                        help="print a span-tree timing breakdown afterwards")
+    batch.add_argument("--sample-profile", action="store_true",
+                       help="sample the main thread's wall-clock stacks "
+                            "and print a top-N self-time table afterwards")
     batch.set_defaults(fn=_cmd_batch)
 
     faultsim = sub.add_parser(
@@ -514,6 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
     faultsim.add_argument("--profile", action="store_true",
                           help="print a span-tree timing breakdown "
                                "afterwards")
+    faultsim.add_argument("--sample-profile", action="store_true",
+                          help="sample the main thread's wall-clock "
+                               "stacks and print a top-N self-time table "
+                               "afterwards")
     faultsim.set_defaults(fn=_cmd_faultsim)
 
     varsweep = sub.add_parser(
@@ -547,6 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip campaign persistence")
     varsweep.add_argument("--profile", action="store_true",
                           help="print a span-tree timing breakdown "
+                               "afterwards")
+    varsweep.add_argument("--sample-profile", action="store_true",
+                          help="sample the main thread's wall-clock "
+                               "stacks and print a top-N self-time table "
                                "afterwards")
     varsweep.set_defaults(fn=_cmd_varsweep)
 
@@ -631,6 +728,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the raw /api/stats JSON instead")
     stats.set_defaults(fn=_cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live refreshing terminal view of the metrics timeline "
+             "(a running server's, or this process's with --local)")
+    top.add_argument("--host", default="127.0.0.1",
+                     help="server address")
+    top.add_argument("--port", type=int, default=8351,
+                     help="server port")
+    top.add_argument("--timeout", type=float, default=30.0,
+                     help="request timeout in seconds")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds")
+    top.add_argument("--rows", type=int, default=12,
+                     help="series shown per table")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen clearing)")
+    top.add_argument("--local", action="store_true",
+                     help="read this process's recorder instead of a "
+                          "server (ticks it on demand)")
+    top.set_defaults(fn=_cmd_top)
     return parser
 
 
@@ -640,6 +758,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.log_json or os.environ.get("NANOXBAR_LOG"):
         from ..obs import configure_logging
         configure_logging(json_mode=True if args.log_json else None)
+    if getattr(args, "sample_profile", False):
+        # Sampling profiler around the whole command, main thread only:
+        # the serial compute path runs here, and pool children are
+        # separate processes the sampler cannot see anyway.
+        import threading
+
+        from ..obs import StackSampler
+        sampler = StackSampler(thread_ids={threading.get_ident()})
+        with sampler:
+            if getattr(args, "profile", False):
+                from ..obs import profiled
+                with profiled(f"cli.{args.command}") as prof:
+                    code = args.fn(args)
+                print()
+                print(prof.render())
+            else:
+                code = args.fn(args)
+        print()
+        print(sampler.report().render_top())
+        return code
     if getattr(args, "profile", False):
         from ..obs import profiled
         with profiled(f"cli.{args.command}") as prof:
@@ -651,4 +789,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `nanoxbar top |
+        # head`); exit quietly instead of tracebacking mid-print.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

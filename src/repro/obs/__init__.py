@@ -13,7 +13,18 @@ The stdlib-only telemetry subsystem every hot layer reports into:
   of completed spans and an optional JSONL sink (``NANOXBAR_TRACE``);
 * :mod:`repro.obs.logging` — JSON log records carrying trace IDs
   (``nanoxbar --log-json`` / ``NANOXBAR_LOG=json``);
-* :mod:`repro.obs.profile` — the ``--profile`` span-tree breakdown.
+* :mod:`repro.obs.profile` — the ``--profile`` span-tree breakdown;
+* :mod:`repro.obs.timeline` — a background
+  :class:`~repro.obs.timeline.MetricsRecorder` differencing the registry
+  into a bounded multi-resolution ring of frames (rates, rolling
+  quantiles, process CPU/RSS) behind ``GET /api/metrics/history``, the
+  SSE stream, ``/dashboard`` and ``nanoxbar top``;
+* :mod:`repro.obs.sampler` — a sampling wall-clock profiler
+  (``--sample-profile`` / ``GET /api/profile``) emitting collapsed
+  stacks and top-N self-time tables;
+* :mod:`repro.obs.health` — declarative watchdog rules evaluated each
+  recorder tick that bump ``nanoxbar_alerts_total{rule}`` and degrade
+  ``/healthz``.
 
 ``NANOXBAR_OBS=0`` (or :func:`set_enabled`) turns the whole subsystem
 into cheap no-ops; ``benchmarks/bench_obs.py`` pins the enabled-mode
@@ -21,6 +32,7 @@ overhead on the warm engine path under 3%.
 """
 
 from ._state import enabled, set_enabled
+from .health import HealthMonitor, WatchdogRule, default_server_rules
 from .logging import configure as configure_logging
 from .logging import get_logger, log_event
 from .metrics import (
@@ -29,9 +41,12 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_counts,
     registry,
 )
 from .profile import ProfileReport, profiled, render_span_tree
+from .sampler import SampleReport, StackSampler, sample_for
+from .timeline import MetricsRecorder, local_recorder, tick_interval
 from .tracing import (
     clear_spans,
     current_trace_id,
@@ -48,24 +63,34 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
+    "MetricsRecorder",
     "MetricsRegistry",
     "ProfileReport",
+    "SampleReport",
+    "StackSampler",
+    "WatchdogRule",
     "clear_spans",
     "configure_logging",
     "current_trace_id",
+    "default_server_rules",
     "enabled",
     "get_logger",
+    "local_recorder",
     "log_event",
     "new_trace_id",
     "profiled",
+    "quantile_from_counts",
     "recent_spans",
     "record_span",
     "registry",
     "render_span_tree",
     "reset_current_trace",
+    "sample_for",
     "set_current_trace",
     "set_enabled",
     "set_trace_sink",
     "span",
+    "tick_interval",
 ]

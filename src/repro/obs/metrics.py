@@ -52,6 +52,52 @@ def _escape(value: str) -> str:
         "\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line body per the 0.0.4 text exposition spec.
+
+    Backslashes and line feeds must be escaped (``\\`` and ``\\n``);
+    carriage returns have no escape in the spec, so they are normalised
+    to line feeds first — raw newlines in help text would otherwise
+    corrupt the whole exposition.
+    """
+    text = text.replace("\r\n", "\n").replace("\r", "\n")
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def quantile_from_counts(bounds: tuple[float, ...],
+                         counts: list[int] | tuple[int, ...],
+                         q: float) -> float:
+    """Bucket-interpolated quantile from one consistent counts copy.
+
+    ``counts`` has one slot per finite bound plus a final ``+Inf`` slot.
+    Every quantile computed from the same ``counts`` list agrees with the
+    bucket table it came from — the snapshot path relies on this to avoid
+    torn reads against the live histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count > 0:
+            if index >= len(bounds):
+                # Landed in +Inf: the best bounded answer is the last
+                # finite edge.
+                return bounds[-1]
+            upper = bounds[index]
+            fraction = (target - (cumulative - bucket_count)) \
+                / bucket_count
+            return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+        if index < len(bounds):
+            lower = bounds[index]
+    return bounds[-1]
+
+
 def _format_value(value: float | int) -> str:
     if isinstance(value, int):
         return str(value)
@@ -155,28 +201,8 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Bucket-interpolated quantile estimate (0 <= q <= 1)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        counts, _total_sum, total = self._state_copy()
-        if total == 0:
-            return 0.0
-        target = q * total
-        cumulative = 0
-        lower = 0.0
-        for index, bucket_count in enumerate(counts):
-            cumulative += bucket_count
-            if cumulative >= target and bucket_count > 0:
-                if index >= len(self.bounds):
-                    # Landed in +Inf: the best bounded answer is the last
-                    # finite edge.
-                    return self.bounds[-1]
-                upper = self.bounds[index]
-                fraction = (target - (cumulative - bucket_count)) \
-                    / bucket_count
-                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
-            if index < len(self.bounds):
-                lower = self.bounds[index]
-        return self.bounds[-1]
+        counts, _total_sum, _total = self._state_copy()
+        return quantile_from_counts(self.bounds, counts, q)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -268,13 +294,17 @@ class MetricsRegistry:
                 out["gauges"].setdefault(name, {})[label_key] = \
                     instrument.value
             else:
+                # One consistent copy feeds the bucket table *and* every
+                # quantile: re-reading live state per quantile could
+                # disagree with the reported buckets under writes.
                 counts, total_sum, total = instrument._state_copy()
+                bounds = instrument.bounds
                 out["histograms"].setdefault(name, {})[label_key] = {
                     "count": total,
                     "sum": total_sum,
-                    "p50": instrument.quantile(0.50),
-                    "p90": instrument.quantile(0.90),
-                    "p99": instrument.quantile(0.99),
+                    "p50": quantile_from_counts(bounds, counts, 0.50),
+                    "p90": quantile_from_counts(bounds, counts, 0.90),
+                    "p99": quantile_from_counts(bounds, counts, 0.99),
                     "buckets": {
                         **{_format_value(bound): count
                            for bound, count in zip(instrument.bounds,
@@ -282,6 +312,30 @@ class MetricsRegistry:
                         "+Inf": counts[-1],
                     },
                 }
+        return out
+
+    def collect(self) -> list[dict]:
+        """Raw per-series read-out for the timeline recorder.
+
+        One record per ``(name, labels)`` series; histogram records carry
+        a consistent ``(counts, sum, count)`` copy plus the bucket bounds
+        so callers can difference scrapes without re-parsing exposition
+        text.  ``labels`` is the exposition-format label body (the same
+        key :meth:`snapshot` uses).
+        """
+        meta, items = self._sorted_items()
+        out: list[dict] = []
+        for (name, labels), instrument in items:
+            kind = meta[name][0]
+            record: dict = {"kind": kind, "name": name,
+                            "labels": _label_text(labels)}
+            if kind == "histogram":
+                counts, total_sum, total = instrument._state_copy()
+                record.update(bounds=instrument.bounds, counts=counts,
+                              sum=total_sum, count=total)
+            else:
+                record["value"] = instrument.value
+            out.append(record)
         return out
 
     def render_prometheus(self) -> str:
@@ -294,7 +348,7 @@ class MetricsRegistry:
         for name in sorted(by_name):
             kind, help_text, _buckets = meta[name]
             if help_text:
-                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
             for labels, instrument in by_name[name]:
                 label_body = _label_text(labels)

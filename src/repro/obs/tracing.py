@@ -234,8 +234,26 @@ def _sink_write(record: dict) -> None:
             _sink_file.write(json.dumps(record, sort_keys=True,
                                         default=str) + "\n")
             _sink_file.flush()
-        except OSError:
+        except OSError as error:
             # A broken sink must never take down the instrumented code:
-            # drop the sink and keep serving.
-            _sink_path = None
-            _sink_file = None
+            # drop the sink and keep serving — but leave a signal, or
+            # operators cannot tell tracing died mid-flight.
+            path, _sink_path, _sink_file = _sink_path, None, None
+            _signal_sink_failure(path, error)
+
+
+def _signal_sink_failure(path: str | None, error: OSError) -> None:
+    """One counter bump + one structured log line when the sink dies.
+
+    Imports are local: :mod:`repro.obs.logging` imports this module, so a
+    top-level import would be circular — and this path only runs once per
+    sink lifetime.
+    """
+    from . import metrics
+    from .logging import get_logger, log_event
+
+    metrics.registry().counter(
+        "nanoxbar_trace_sink_errors_total",
+        "trace JSONL sinks disabled after a write error").inc()
+    log_event(get_logger("obs"), "trace sink disabled",
+              path=path, error=f"{type(error).__name__}: {error}")

@@ -10,6 +10,13 @@ incremental per-point stream.  Endpoints:
                             and recent trace spans
 ``GET  /api/metrics``       Prometheus text exposition of every counter,
                             gauge and latency histogram
+``GET  /api/metrics/history``  recorder frames since a cursor
+                            (``?since=&limit=&resolution=fine|coarse``)
+``GET  /api/metrics/stream``   Server-Sent Events: one event per
+                            recorder frame (``?since=`` resumes)
+``GET  /dashboard``         self-contained live HTML dashboard
+``GET  /api/profile``       sampling profiler over a window
+                            (``?seconds=&interval_ms=&format=json``)
 ``POST /api/submit``        submit a job; returns ``job_id`` (+ whether
                             it coalesced onto an in-flight twin)
 ``GET  /api/status/<id>``   lifecycle snapshot, points done/total
@@ -35,6 +42,8 @@ import time
 from urllib.parse import parse_qs, urlsplit
 
 from ..obs import metrics, tracing
+from ..obs.sampler import sample_for
+from .dashboard import DASHBOARD_HTML
 from .protocol import ProtocolError, dumps, parse_submission
 from .queue import JobQueue, ServedJob
 from .worker import WorkerBridge
@@ -66,7 +75,8 @@ _REQUEST: contextvars.ContextVar[dict | None] = contextvars.ContextVar(
 #: Endpoints kept as-is in the ``endpoint`` label; job-scoped paths are
 #: collapsed to their prefix so the label set stays bounded.
 _KNOWN_ENDPOINTS = frozenset({
-    "/healthz", "/api/stats", "/api/metrics", "/api/submit",
+    "/healthz", "/api/stats", "/api/metrics", "/api/metrics/history",
+    "/api/metrics/stream", "/dashboard", "/api/profile", "/api/submit",
     "/api/shutdown",
 })
 _PREFIX_ENDPOINTS = ("/api/status/", "/api/result/", "/api/stream/")
@@ -117,16 +127,23 @@ class BatchServer:
             campaign store (``":memory:"`` for ephemeral).
         processes: pool width each job shards over.
         job_workers: how many jobs may compute concurrently.
+        obs_tick: metrics-recorder tick interval in seconds (``None``
+            defers to ``NANOXBAR_OBS_TICK`` / the 1s default).
+        health_rules: watchdog rules for the bridge's health monitor
+            (defaults to :func:`~repro.obs.health.default_server_rules`).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8351,
                  cache_path: str = ":memory:", processes: int = 1,
-                 job_workers: int = 2):
+                 job_workers: int = 2, obs_tick: float | None = None,
+                 health_rules=None):
         self.host = host
         self.port = port
         self.cache_path = cache_path
         self.processes = processes
         self.job_workers = job_workers
+        self.obs_tick = obs_tick
+        self.health_rules = health_rules
         self.bridge: WorkerBridge | None = None
         self.queue: JobQueue | None = None
         self.ready = threading.Event()
@@ -141,7 +158,9 @@ class BatchServer:
         self._stop = asyncio.Event()
         self.bridge = WorkerBridge(cache_path=self.cache_path,
                                    processes=self.processes,
-                                   job_workers=self.job_workers)
+                                   job_workers=self.job_workers,
+                                   obs_tick=self.obs_tick,
+                                   health_rules=self.health_rules)
         self.queue = JobQueue(self.bridge, self._loop)
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port, limit=MAX_BODY_BYTES)
@@ -272,8 +291,11 @@ class BatchServer:
     async def _route(self, writer, method: str, path: str,
                      query: dict, body: bytes) -> None:
         if path == "/healthz" and method == "GET":
+            # Degraded still answers 200 — liveness and health are
+            # different questions; the body carries the watchdog verdict.
+            health = self.bridge.health.status()
             await self._respond(writer, 200, {
-                "status": "ok",
+                **health,
                 **self.queue.snapshot(),
             })
         elif path == "/api/stats" and method == "GET":
@@ -291,6 +313,15 @@ class BatchServer:
             await self._respond_text(
                 writer, 200, metrics.registry().render_prometheus(),
                 METRICS_CONTENT_TYPE)
+        elif path == "/api/metrics/history" and method == "GET":
+            await self._history(writer, query)
+        elif path == "/api/metrics/stream" and method == "GET":
+            await self._metrics_stream(writer, query)
+        elif path == "/dashboard" and method == "GET":
+            await self._respond_text(writer, 200, DASHBOARD_HTML,
+                                     "text/html; charset=utf-8")
+        elif path == "/api/profile" and method == "GET":
+            await self._profile(writer, query)
         elif path == "/api/submit":
             if method != "POST":
                 await self._respond(writer, 405,
@@ -381,6 +412,107 @@ class BatchServer:
         writer.write(b"0\r\n\r\n")
         _observe_http(200)
         await writer.drain()
+
+    # -- live observability ------------------------------------------------
+    @staticmethod
+    def _query_number(query: dict, key: str, default: float,
+                      lo: float, hi: float) -> float:
+        try:
+            value = float(query.get(key, default))
+        except (TypeError, ValueError):
+            raise _BadRequest(f"unparseable {key}={query.get(key)!r}")
+        return min(hi, max(lo, value))
+
+    async def _history(self, writer, query: dict) -> None:
+        """``GET /api/metrics/history``: recorder frames past a cursor."""
+        recorder = self.bridge.recorder
+        since = int(self._query_number(query, "since", 0, 0, 1 << 62))
+        limit = None
+        if "limit" in query:
+            limit = int(self._query_number(query, "limit", 0, 1, 100_000))
+        resolution = query.get("resolution", "fine")
+        if resolution not in ("fine", "coarse"):
+            await self._respond(writer, 400, {
+                "error": f"resolution must be fine|coarse, "
+                         f"not {resolution!r}"})
+            return
+        frames = recorder.history(since=since, limit=limit,
+                                  resolution=resolution)
+        await self._respond(writer, 200, {
+            "frames": frames,
+            "cursor": recorder.cursor,
+            "interval": recorder.interval,
+            "resolution": resolution,
+        })
+
+    async def _metrics_stream(self, writer, query: dict) -> None:
+        """``GET /api/metrics/stream``: frames as Server-Sent Events.
+
+        Rides the same chunked-transfer machinery as the per-job stream;
+        each recorder frame becomes one ``id:``/``data:`` event, so
+        ``EventSource`` reconnects can resume losslessly from
+        ``?since=<last id>``.  The poll loop watches ``self._stop`` so a
+        graceful shutdown is not held open by attached dashboards.
+        """
+        recorder = self.bridge.recorder
+        cursor = int(self._query_number(query, "since", 0, 0, 1 << 62))
+        writer.write(_head(200, "Transfer-Encoding: chunked\r\n"
+                                "Cache-Control: no-store\r\n",
+                           content_type="text/event-stream"))
+        _observe_http(200)
+        await writer.drain()
+
+        readers = metrics.registry().gauge(
+            "server_sse_readers", "attached /api/metrics/stream clients")
+        readers.inc()
+
+        async def chunk(text: str) -> None:
+            data = text.encode("utf-8")
+            writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+            await writer.drain()
+
+        poll = min(max(recorder.interval, 0.05), 0.25)
+        idle = 0.0
+        try:
+            await chunk("retry: 2000\n\n")
+            while not self._stop.is_set():
+                frames = recorder.history(since=cursor)
+                for frame in frames:
+                    cursor = frame["cursor"]
+                    await chunk(f"id: {frame['cursor']}\n"
+                                f"data: {json.dumps(frame)}\n\n")
+                if frames:
+                    idle = 0.0
+                else:
+                    idle += poll
+                    if idle >= 15.0:  # keep proxies from reaping us
+                        idle = 0.0
+                        await chunk(": keepalive\n\n")
+                await asyncio.sleep(poll)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # reader went away; nothing left to stream to
+        finally:
+            readers.dec()
+
+    async def _profile(self, writer, query: dict) -> None:
+        """``GET /api/profile``: sample the process for a window."""
+        seconds = self._query_number(query, "seconds", 5.0, 0.05, 60.0)
+        interval = self._query_number(query, "interval_ms", 5.0,
+                                      1.0, 1000.0) / 1000.0
+        fmt = query.get("format", "collapsed")
+        if fmt not in ("collapsed", "json"):
+            await self._respond(writer, 400, {
+                "error": f"format must be collapsed|json, not {fmt!r}"})
+            return
+        report = await self._loop.run_in_executor(
+            None, lambda: sample_for(seconds, interval=interval))
+        if fmt == "json":
+            await self._respond(writer, 200, report.as_dict())
+        else:
+            await self._respond_text(writer, 200, report.collapsed(),
+                                     "text/plain; charset=utf-8")
 
 
 class ServerHandle:

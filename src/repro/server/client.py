@@ -85,6 +85,83 @@ class ServerClient:
         finally:
             conn.close()
 
+    def history(self, since: int = 0, limit: int | None = None,
+                resolution: str | None = None) -> dict:
+        """``/api/metrics/history``: recorder frames past a cursor.
+
+        Returns ``{"frames": [...], "cursor": int, "interval": float}``;
+        resume paging by passing the returned ``cursor`` back as
+        ``since``.
+        """
+        path = f"/api/metrics/history?since={int(since)}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        if resolution is not None:
+            path += f"&resolution={resolution}"
+        return self._request("GET", path)
+
+    def stream_metrics(self, since: int = 0) -> Iterator[dict]:
+        """Yield recorder frames live from the SSE endpoint.
+
+        A minimal Server-Sent-Events parser: ``data:`` lines accumulate
+        until a blank line terminates the event; ``id:``/``retry:`` and
+        comment lines are bookkeeping, not payload.  Runs until the
+        server shuts down or the caller stops iterating.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/api/metrics/stream?since={int(since)}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServerError(response.status,
+                                  response.read().decode("utf-8"))
+            data_lines: list[str] = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip(" "))
+                # id:/retry:/": comment" lines need no action here —
+                # resumption state is the frame's own cursor field.
+        finally:
+            conn.close()
+
+    def profile(self, seconds: float = 5.0,
+                interval_ms: float = 5.0) -> str:
+        """``/api/profile``: collapsed-stack text for a sampling window."""
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=max(self.timeout, seconds + 30.0))
+        try:
+            conn.request("GET", f"/api/profile?seconds={seconds}"
+                                f"&interval_ms={interval_ms}")
+            response = conn.getresponse()
+            data = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServerError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    def dashboard(self) -> str:
+        """Fetch the ``/dashboard`` HTML (smoke tests, curl parity)."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/dashboard")
+            response = conn.getresponse()
+            data = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServerError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
     def submit(self, payload: dict) -> dict:
         """Submit one job; returns ``{job_id, coalesced, state, ...}``."""
         return self._request("POST", "/api/submit", payload)

@@ -23,6 +23,8 @@ from typing import Callable
 from ..engine import BatchEngine, JsonStore
 from ..faultlab import iter_campaign
 from ..obs import tracing
+from ..obs.health import HealthMonitor, default_server_rules
+from ..obs.timeline import MetricsRecorder
 from ..varsim import iter_variation_campaign
 from .protocol import (
     Submission,
@@ -46,10 +48,22 @@ class WorkerBridge:
         processes: pool width each job shards over
             (:func:`repro.engine.pool.map_sharded`).
         job_workers: how many served jobs may compute concurrently.
+        obs_tick: metrics-recorder tick interval in seconds (``None``
+            defers to ``NANOXBAR_OBS_TICK`` / the 1s default).
+        health_rules: watchdog rules for the recorder's
+            :class:`~repro.obs.health.HealthMonitor`; defaults to
+            :func:`~repro.obs.health.default_server_rules`.
+
+    The bridge also owns the process's
+    :class:`~repro.obs.timeline.MetricsRecorder` — the compute side is
+    where the interesting series originate, and tying the recorder's
+    lifetime to the bridge means every front-end (server, tests,
+    benches) gets history/SSE/watchdogs without extra wiring.
     """
 
     def __init__(self, cache_path: str = ":memory:", processes: int = 1,
-                 job_workers: int = 2):
+                 job_workers: int = 2, obs_tick: float | None = None,
+                 health_rules=None):
         self.engine = BatchEngine(cache_path=cache_path,
                                   processes=processes)
         self.store = JsonStore(cache_path)
@@ -57,6 +71,12 @@ class WorkerBridge:
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, job_workers),
             thread_name_prefix="nanoxbar-job")
+        if health_rules is None:
+            health_rules = default_server_rules()
+        self.health = HealthMonitor(health_rules)
+        self.recorder = MetricsRecorder(interval=obs_tick,
+                                        health=self.health)
+        self.recorder.start()
 
     @property
     def executor(self) -> ThreadPoolExecutor:
@@ -109,13 +129,17 @@ class WorkerBridge:
 
     def stats(self) -> dict:
         """Engine hit/dedup statistics plus store occupancy."""
+        latest = self.recorder.latest()
         return {
             "engine": self.engine.stats.as_dict(),
             "synthesis_cache_entries": len(self.engine.cache),
             "campaign_store_entries": len(self.store),
+            "health": self.health.status(),
+            "resources": latest["resources"] if latest else None,
         }
 
     def close(self) -> None:
+        self.recorder.stop()
         self._executor.shutdown(wait=True)
         self.engine.close()
         self.store.close()

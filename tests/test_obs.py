@@ -22,8 +22,9 @@ from repro.obs import (
     set_enabled,
     span,
 )
+from repro.obs import quantile_from_counts, registry
 from repro.obs.tracing import SPAN_RING_SIZE, add_span_listener, \
-    remove_span_listener
+    remove_span_listener, set_trace_sink
 
 
 class TestCountersAndGauges:
@@ -142,6 +143,62 @@ class TestHistogram:
         assert snap["count"] == 1
 
 
+class TestQuantileFromCounts:
+    def test_matches_histogram_quantile(self):
+        reg = MetricsRegistry()
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        hist = reg.histogram("q_seconds", "help", buckets=bounds)
+        for value in (0.0005, 0.005, 0.005, 0.05, 0.5, 7.0):
+            hist.observe(value)
+        counts, _sum, _count = hist._state_copy()
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_counts(bounds, counts, q) == \
+                hist.quantile(q)
+
+    def test_empty_counts_read_zero(self):
+        assert quantile_from_counts((0.1, 1.0), [0, 0, 0], 0.99) == 0.0
+
+    def test_interpolates_within_the_owning_bucket(self):
+        # 10 samples, all in (1, 2]: every mid quantile interpolates
+        # between the bucket's edges.
+        value = quantile_from_counts((1.0, 2.0), [0, 10, 0], 0.5)
+        assert 1.0 <= value <= 2.0
+        assert quantile_from_counts((1.0, 2.0), [0, 10, 0], 1.0) == 2.0
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        assert quantile_from_counts((1.0,), [0, 5], 0.99) == 1.0
+
+
+class TestSnapshotQuantileConsistency:
+    def test_quantiles_ordered_under_concurrent_writes(self):
+        # The torn-read shape: quantiles computed from three separate
+        # state copies can interleave with writers and come out
+        # non-monotonic.  One shared copy keeps p50 <= p90 <= p99
+        # regardless of write traffic.
+        reg = MetricsRegistry()
+        hist = reg.histogram("c_seconds", "help",
+                             buckets=(0.001, 0.01, 0.1, 1.0))
+        stop = threading.Event()
+
+        def write():
+            values = (0.0005, 0.005, 0.05, 0.5, 5.0)
+            index = 0
+            while not stop.is_set():
+                hist.observe(values[index % 5])
+                index += 1
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            for _ in range(300):
+                series = reg.snapshot()["histograms"]["c_seconds"][""]
+                assert series["p50"] <= series["p90"] <= series["p99"], \
+                    series
+        finally:
+            stop.set()
+            writer.join()
+
+
 class TestPrometheusExposition:
     LINE = re.compile(
         r"^(?:# (?:HELP|TYPE) .+"
@@ -176,6 +233,20 @@ class TestPrometheusExposition:
         reg.counter("esc_total", "help", labels={"k": 'a"b\\c'}).inc()
         text = reg.render_prometheus()
         assert 'esc_total{k="a\\"b\\\\c"} 1' in text
+
+    def test_help_text_escaped_per_spec(self):
+        # 0.0.4 HELP lines escape backslash and newline — a multi-line
+        # or backslash-bearing help string must stay one physical line.
+        reg = MetricsRegistry()
+        reg.counter("multi_total",
+                    "first line\nsecond \\ line\r\nthird").inc()
+        text = reg.render_prometheus()
+        help_lines = [line for line in text.split("\n")
+                      if line.startswith("# HELP multi_total")]
+        assert help_lines == [
+            "# HELP multi_total first line\\nsecond \\\\ line\\nthird"]
+        for line in text.rstrip("\n").split("\n"):
+            assert self.LINE.match(line), line
 
 
 class TestEnabledSwitch:
@@ -251,6 +322,24 @@ class TestTracing:
         finally:
             remove_span_listener(seen.append)
         assert [s["name"] for s in seen] == ["listened"]
+
+
+class TestTraceSinkFailure:
+    def test_broken_sink_counts_logs_and_disables(self):
+        errors = registry().counter(
+            "nanoxbar_trace_sink_errors_total",
+            "trace JSONL sinks disabled after a write error")
+        before = errors.value
+        set_trace_sink("/nonexistent-dir/sink.jsonl")
+        try:
+            record_span("sink-fail-probe", 0.01)
+            assert errors.value == before + 1
+            # The sink is dropped after the first failure: later spans
+            # neither raise nor re-count.
+            record_span("sink-fail-probe", 0.01)
+            assert errors.value == before + 1
+        finally:
+            set_trace_sink(None)
 
 
 class TestProfile:

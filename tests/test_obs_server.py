@@ -7,7 +7,9 @@ test — a submitted job's trace can be inspected directly.
 
 from __future__ import annotations
 
+import json
 import re
+import threading
 import time
 from http.client import HTTPConnection
 
@@ -27,7 +29,9 @@ _SAMPLE_LINE = re.compile(
 
 @pytest.fixture(scope="module")
 def server():
-    handle = serve_in_thread(processes=1, job_workers=2)
+    # A fast recorder tick keeps the history/SSE tests from sleeping
+    # through 1s production frames.
+    handle = serve_in_thread(processes=1, job_workers=2, obs_tick=0.05)
     yield handle
     handle.server.request_stop()
     handle.thread.join(timeout=30)
@@ -160,3 +164,190 @@ class TestStatsEndpoint:
         assert len(stats["recent_spans"]) >= 1
         assert {"name", "trace_id", "span_id", "duration"} <= \
             set(stats["recent_spans"][0])
+
+    def test_stats_carries_health_and_resources(self, client):
+        stats = client.stats()
+        assert stats["health"]["status"] in ("ok", "degraded")
+        assert len(stats["health"]["rules"]) == 3
+        assert stats["resources"] is None \
+            or stats["resources"]["rss_bytes"] > 0
+
+
+class TestHistoryEndpoint:
+    def test_cursor_pages_are_monotonic_and_lossless(self, client):
+        first = client.history()
+        deadline = time.monotonic() + 30.0
+        second = client.history(since=first["cursor"])
+        while not second["frames"] and time.monotonic() < deadline:
+            time.sleep(0.1)
+            second = client.history(since=first["cursor"])
+        cursors = [f["cursor"] for f in first["frames"] + second["frames"]]
+        assert cursors == sorted(cursors)
+        assert len(set(cursors)) == len(cursors)
+        assert all(f["cursor"] > first["cursor"]
+                   for f in second["frames"])
+        assert second["interval"] == pytest.approx(0.05)
+
+    def test_frames_reflect_served_traffic(self, client):
+        before = client.history()["cursor"]
+        client.run({
+            "kind": "synthesis",
+            "jobs": [{"n": 2, "bits": 0b0100, "label": "history-probe"}],
+        })
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            frames = client.history(since=before)["frames"]
+            done = sum(
+                entry["delta"]
+                for frame in frames
+                for key, entry in frame["counters"].items()
+                if key.startswith("server_jobs_total{")
+                and 'state="done"' in key)
+            if done >= 1:
+                break
+            time.sleep(0.1)
+        assert done >= 1
+
+    def test_bad_query_params_answer_400(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/api/metrics/history?since=banana")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/api/metrics/history?resolution=medium")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+
+class TestSSEStream:
+    def test_two_concurrent_readers_see_every_frame(self, client, server):
+        start = client.history()["cursor"]
+        results: dict[str, list[int]] = {"a": [], "b": []}
+        errors: list[BaseException] = []
+
+        def read(name: str) -> None:
+            try:
+                reader = ServerClient(port=server.port, timeout=60.0)
+                for frame in reader.stream_metrics(since=start):
+                    results[name].append(frame["cursor"])
+                    if len(results[name]) >= 4:
+                        return
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                errors.append(error)
+
+        threads = [threading.Thread(target=read, args=(name,))
+                   for name in results]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        for cursors in results.values():
+            # Contiguous from the shared start cursor: no frame lost,
+            # none duplicated, for either reader.
+            assert cursors == list(range(start + 1, start + 5))
+
+    def test_stream_resumes_from_cursor(self, client, server):
+        head = client.history()["cursor"]
+        reader = ServerClient(port=server.port, timeout=60.0)
+        stream = reader.stream_metrics(since=max(0, head - 2))
+        first = next(stream)
+        assert first["cursor"] > max(0, head - 2)
+        stream.close()
+
+
+class TestProfileEndpoint:
+    def test_collapsed_stacks_are_well_formed(self, client):
+        text = client.profile(seconds=0.3, interval_ms=2)
+        for line in text.rstrip("\n").split("\n"):
+            if not line:
+                continue
+            path, _, count = line.rpartition(" ")
+            assert count.isdigit() and int(count) >= 1, line
+            for label in path.split(";"):
+                assert ":" in label, line
+
+    def test_json_format_carries_top_table(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=60)
+        try:
+            conn.request("GET", "/api/profile?seconds=0.2&format=json")
+            response = conn.getresponse()
+            assert response.status == 200
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert payload["duration_seconds"] >= 0.2
+        assert payload["total_samples"] >= 0
+        assert isinstance(payload["top"], list)
+
+    def test_bad_format_answers_400(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/api/profile?seconds=0.1&format=svg")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+
+class TestDashboard:
+    def test_served_page_is_self_contained(self, client, server):
+        html = client.dashboard()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<canvas" in html
+        assert "EventSource" in html
+        assert "/api/metrics/stream" in html
+        # Self-contained: no external fetches of any kind.
+        assert "http://" not in html and "https://" not in html
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/dashboard")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == \
+                "text/html; charset=utf-8"
+            response.read()
+        finally:
+            conn.close()
+
+
+class TestHealthWatchdogs:
+    def test_healthz_degrades_and_recovers(self):
+        # A private fast-tick server with a hair-trigger watchdog: the
+        # stock rules would need sustained real load to trip.
+        from repro.obs import registry
+        from repro.obs.health import WatchdogRule
+
+        rule = WatchdogRule("probe-errors", "rate_threshold",
+                            "probe_errors_total", threshold=0.5,
+                            window=2, clear_after=3)
+        handle = serve_in_thread(obs_tick=0.05, health_rules=(rule,))
+        client = ServerClient(port=handle.port, timeout=30.0)
+        try:
+            client.wait_healthy()
+            assert client.health()["status"] == "ok"
+            probe = registry().counter("probe_errors_total", "test probe")
+
+            def wait_status(wanted: str) -> dict:
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    health = client.health()
+                    if health["status"] == wanted:
+                        return health
+                    if wanted == "degraded":
+                        probe.inc(1000)  # keep the error burst going
+                    time.sleep(0.05)
+                raise AssertionError(
+                    f"health status never reached {wanted}: {health}")
+
+            probe.inc(1000)
+            degraded = wait_status("degraded")
+            assert degraded["alerts"][0]["rule"] == "probe-errors"
+            # Burst over: quiet ticks must clear the alert.
+            wait_status("ok")
+        finally:
+            handle.server.request_stop()
+            handle.thread.join(timeout=30)
