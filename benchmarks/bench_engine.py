@@ -68,3 +68,123 @@ def test_engine_throughput(save_table, tmp_path):
     lines.append(f"warm-cache speedup (serial): "
                  f"{serial_cold / serial_warm:.1f}x")
     save_table("engine_throughput", "\n".join(lines))
+
+
+# -- raw-speed core pass: wide-n dedup and portfolio preemption ----------
+
+def test_wide_n_semicanonical_hit_rate(save_table, save_core_speed,
+                                       tmp_path):
+    """n=7/8 NPN classmates must collapse onto one race via the wide keys.
+
+    Exact canonicalization stops at n=6; beyond it the engine used to key
+    every syntactic variant separately (zero cross-variant reuse).  The
+    semi-canonical key restores the dedup: a batch of random wide tables
+    plus one NPN-transformed mate each should race about half as often as
+    it has jobs, and a warm rerun should hit outright.
+    """
+    import os
+    import random
+
+    from repro.boolean import NpnTransform, apply_transform
+    from repro.boolean.truthtable import TruthTable
+
+    smoke = os.environ.get("CORE_SPEED_SMOKE") == "1"
+    regimes = ((7, 2),) if smoke else ((7, 12), (8, 6))
+    rng = random.Random(43)
+    report = []
+    lines = []
+    for n, bases in regimes:
+        jobs = []
+        for index in range(bases):
+            table = TruthTable.from_bits(n, rng.getrandbits(1 << n))
+            perm = list(range(n))
+            rng.shuffle(perm)
+            # input permutation + negation only: the store keeps one
+            # lattice per (class, output-polarity) slot, so an output
+            # flip is a different slot by design, not a dedup miss
+            mate = apply_transform(table, NpnTransform(
+                tuple(perm), rng.getrandbits(n), False))
+            jobs.append(SynthesisJob.from_function(
+                table, f"base-{n}-{index}", ("dual",)))
+            jobs.append(SynthesisJob.from_function(
+                mate, f"mate-{n}-{index}", ("dual",)))
+
+        cache = str(tmp_path / f"bench-wide-{n}.sqlite")
+        start = time.perf_counter()
+        with BatchEngine(cache_path=cache, processes=1) as engine:
+            engine.run(jobs)
+            cold = engine.stats
+            cold_elapsed = time.perf_counter() - start
+            assert cold.races_run <= bases + 1  # mates collapsed in-run
+            reuse = cold.deduped / cold.jobs
+        with BatchEngine(cache_path=cache, processes=1) as engine:
+            engine.run(jobs)
+            assert engine.stats.hit_rate == 1.0  # persisted keys hit
+        report.append({
+            "n": n,
+            "jobs": cold.jobs,
+            "races_run": cold.races_run,
+            "deduped": cold.deduped,
+            "in_run_reuse_fraction": reuse,
+            "cold_seconds": cold_elapsed,
+        })
+        lines.append(
+            f"n={n}: {cold.jobs} jobs -> {cold.races_run} races "
+            f"({cold.deduped} deduped in-run, cold {cold_elapsed:.2f}s)")
+
+    save_core_speed("wide_n_dedup", {"smoke": smoke, "regimes": report})
+    save_table("engine_wide_n", "\n".join(
+        ["wide-n semi-canonical dedup (warm rerun hit rate 1.0):"]
+        + lines))
+
+
+def test_portfolio_preemption_latency(save_table, save_core_speed):
+    """Raced portfolio vs serial on functions whose winner seals early.
+
+    AND-of-6 hits the area lower bound with the first strategy; the
+    raced portfolio kills the remaining strategies instead of running
+    them to completion.  Verdicts must match the serial run exactly —
+    the wall-clock cut is reported (and asserted only in full runs,
+    where the margin dwarfs scheduler noise).
+    """
+    import os
+
+    from repro.boolean.truthtable import TruthTable
+    from repro.engine import run_portfolio, run_portfolio_raced
+
+    smoke = os.environ.get("CORE_SPEED_SMOKE") == "1"
+    repeats = 2 if smoke else 5
+    table = TruthTable.from_minterms(6, [(1 << 6) - 1])
+
+    def best_of(runner):
+        verdict, elapsed = None, []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            verdict = runner(table)
+            elapsed.append(time.perf_counter() - start)
+        return verdict, min(elapsed)
+
+    serial, serial_seconds = best_of(run_portfolio)
+    raced, raced_seconds = best_of(run_portfolio_raced)
+    assert raced.strategy == serial.strategy
+    assert raced.lattice == serial.lattice
+    preempted = sum(1 for o in raced.outcomes if o.status == "preempted")
+    assert preempted >= 1
+    speedup = serial_seconds / raced_seconds
+    if not smoke:
+        assert speedup >= 1.0  # preemption must not cost wall-clock
+
+    save_core_speed("portfolio_preemption", {
+        "smoke": smoke,
+        "function": "and-of-6",
+        "serial_seconds": serial_seconds,
+        "raced_seconds": raced_seconds,
+        "speedup": speedup,
+        "strategies_preempted": preempted,
+    })
+    save_table("engine_preemption", "\n".join([
+        "portfolio preemption (and-of-6, winner seals at the lower "
+        "bound)",
+        f"serial {serial_seconds:.3f}s   raced {raced_seconds:.3f}s   "
+        f"speedup {speedup:.2f}x   preempted {preempted} strategies",
+    ]))

@@ -168,3 +168,73 @@ def test_percolation_duality_smoke(save_table):
     assert percolation_duality_holds_batch(grids).all()
     save_table("xbareval_duality",
                "percolation duality holds on 64 random 8x8 grids: yes")
+
+
+# -- raw-speed core pass: tall grids past the single-word limit ----------
+
+#: ``CORE_SPEED_SMOKE=1`` shrinks the tall-grid sweep for CI runners.
+CORE_SMOKE = os.environ.get("CORE_SPEED_SMOKE") == "1" or SMOKE
+#: Acceptance floor for the committed artifact (full run): the multi-word
+#: packed flood must beat the boolean unpacked fallback >= 5x at 128 rows.
+MIN_TALL_SPEEDUP = 1.2 if CORE_SMOKE else 5.0
+#: (rows, cols, batch) tall regimes; both need > 1 uint64 word per column.
+TALL_WORKLOADS = (((128, 10, 24), (256, 8, 16)) if CORE_SMOKE
+                  else ((128, 64, 256), (256, 48, 192)))
+
+
+def _best_of(fn, grids, repeats=3):
+    elapsed = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn(grids)
+        elapsed.append(time.perf_counter() - start)
+    return out, min(elapsed)
+
+
+def test_tall_grid_multiword_flood(save_table, save_core_speed):
+    """128/256-row grids: multi-word packed floods vs unpacked booleans.
+
+    Grids taller than 64 rows used to silently fall off the packed fast
+    path; the multi-word kernels keep them packed.  Verdicts must stay
+    bit-identical to the unpacked reference for both flood duals.
+    """
+    from repro.xbareval import connectivity as conn
+
+    rows_report = []
+    lines = ["tall-grid flood: multi-word packed vs unpacked fallback",
+             f"{'rows':>5s} {'cols':>5s} {'batch':>6s} "
+             f"{'tb-speedup':>11s} {'lr-speedup':>11s}"]
+    for rows, cols, batch in TALL_WORKLOADS:
+        gen = np.random.default_rng(5)
+        grids = gen.random((batch, rows, cols)) < 0.55
+        tb_packed, tb_fast = _best_of(conn._top_bottom_connected_numpy,
+                                      grids)
+        tb_ref, tb_slow = _best_of(conn._top_bottom_connected_unpacked,
+                                   grids)
+        lr_packed, lr_fast = _best_of(conn._left_right_blocked_8_numpy,
+                                      grids)
+        lr_ref, lr_slow = _best_of(conn._left_right_blocked_8_unpacked,
+                                   grids)
+        assert np.array_equal(tb_packed, tb_ref)
+        assert np.array_equal(lr_packed, lr_ref)
+        tb_speedup = tb_slow / tb_fast
+        lr_speedup = lr_slow / lr_fast
+        assert tb_speedup >= MIN_TALL_SPEEDUP
+        assert lr_speedup >= MIN_TALL_SPEEDUP
+        rows_report.append({
+            "rows": rows, "cols": cols, "batch": batch,
+            "top_bottom_packed_seconds": tb_fast,
+            "top_bottom_unpacked_seconds": tb_slow,
+            "top_bottom_speedup": tb_speedup,
+            "left_right_packed_seconds": lr_fast,
+            "left_right_unpacked_seconds": lr_slow,
+            "left_right_speedup": lr_speedup,
+        })
+        lines.append(f"{rows:5d} {cols:5d} {batch:6d} "
+                     f"{tb_speedup:10.1f}x {lr_speedup:10.1f}x")
+    save_core_speed("tall_grid_flood", {
+        "smoke": CORE_SMOKE,
+        "min_speedup": MIN_TALL_SPEEDUP,
+        "workloads": rows_report,
+    })
+    save_table("xbareval_tall_grid", "\n".join(lines))

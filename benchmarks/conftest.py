@@ -8,6 +8,7 @@ output capturing, and printed (visible with ``-s``).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -29,5 +30,25 @@ def save_table(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture
+def save_core_speed(results_dir):
+    """Merge one section into the raw-speed artifact.
+
+    The core-speed story spans three benchmark files (tall-grid floods,
+    backend comparison, engine dedup + preemption); each contributes its
+    own section to ``results/BENCH_core_speed.json`` so a partial rerun
+    refreshes only what it measured.
+    """
+
+    def _save(section: str, payload: dict) -> None:
+        path = results_dir / "BENCH_core_speed.json"
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[section] = payload
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"\n[{section} merged into {path}]")
 
     return _save

@@ -50,6 +50,7 @@ from .npn import (
     npn_canonical,
     npn_classes,
     npn_equivalent,
+    npn_semicanonical,
 )
 from .minimize import (
     exact_minimize,
@@ -99,6 +100,7 @@ __all__ = [
     "npn_canonical",
     "npn_classes",
     "npn_equivalent",
+    "npn_semicanonical",
     "onset_affine_hull",
     "parity_table",
     "parse_expression",

@@ -175,6 +175,122 @@ def npn_canonical(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
     return apply_transform(table, best_transform), best_transform
 
 
+def _walsh_hadamard(signed: np.ndarray) -> np.ndarray:
+    """Fast Walsh-Hadamard transform of a ``(2^n,)`` ±1 vector.
+
+    Coefficient ``s`` correlates the function with the parity of the
+    variables in ``s`` (assignment bit ``v`` aligns with coefficient bit
+    ``v``), so per-variable |spectrum| multisets are NPN invariants: a
+    permutation permutes coefficients within the same bit-count shells,
+    input/output negations only flip signs.
+    """
+    w = signed.astype(np.int64)
+    h = 1
+    while h < w.size:
+        w = w.reshape(-1, 2, h)
+        w = np.stack([w[:, 0, :] + w[:, 1, :],
+                      w[:, 0, :] - w[:, 1, :]], axis=1)
+        h <<= 1
+    return w.reshape(-1)
+
+
+def npn_semicanonical(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
+    """A semi-canonical NPN representative with a *real* witness transform.
+
+    The exact search (:func:`npn_canonical`) is infeasible past
+    ``MAX_EXACT_NPN_VARS``; this normalization runs in ``O(n 2^n)`` at any
+    ``n`` and makes every decision from NPN-invariant statistics, so two
+    class members map to the *same* representative whenever those
+    invariants are tie-free (the common case for random functions):
+
+    * output polarity: complement when it shrinks the on-set; an exact
+      half/half tie normalizes *both* polarities and keeps the
+      lexicographically smaller representative (still invariant);
+    * per-variable input negation: order each variable's cofactor on-set
+      counts ``(c0, c1)`` as ``c0 <= c1``, ties refined by the sorted
+      pairwise cofactor-count profile of each side (ties after that keep
+      the input polarity);
+    * variable permutation: sort variables by the invariant key
+      ``(c0, pairwise cofactor-count profile, sorted per-variable
+      |Walsh-Hadamard| spectrum)``, ties broken by original index (the
+      "semi" part — a tie may split a class, never merge two).
+
+    Unlike a bare invariant hash, the returned :class:`NpnTransform` is a
+    true witness — ``apply_transform(table, t)`` *is* the representative
+    — so cached lattices can be rewritten between class members exactly
+    as with the exact canonical form.  Collision-safety is the caller's
+    affair: key on the representative's full packed table (e.g.
+    ``content_hash``), not on lossy invariants.
+    """
+    n = table.n
+    size = 1 << n
+    values = table.values.astype(bool)
+    ones = int(values.sum())
+    if 2 * ones != size:
+        return _semicanonical_polarity(table, values, ones > size - ones)
+    # Exact half/half on-set: the polarity choice has no invariant count
+    # to lean on, so normalize both and keep the smaller representative
+    # (classmates enumerate the same two candidates).
+    candidates = [_semicanonical_polarity(table, values, out_neg)
+                  for out_neg in (False, True)]
+    return min(candidates, key=lambda cand: cand[0].values.tobytes())
+
+
+def _semicanonical_polarity(table: TruthTable, values: np.ndarray,
+                            out_neg: bool) -> tuple[TruthTable, NpnTransform]:
+    """The semi-canonical normalization with the output polarity fixed."""
+    n = table.n
+    size = 1 << n
+    f = values ^ out_neg
+    onset = int(f.sum())
+    # Per-assignment variable bits of the on-set: bits[v, k] is bit v of
+    # the k-th on-set minterm.  All cofactor statistics read off it.
+    minterms = np.flatnonzero(f)
+    bits = (minterms[None, :] >> np.arange(max(n, 1))[:, None]) & 1
+    # pair[v, a, u, b] = |{x in onset : x_v = a, x_u = b}|; the sorted-
+    # over-b profiles below are invariant under every other variable's
+    # (undecided) negation and under variable permutation.
+    pair = np.zeros((n, 2, n, 2), dtype=np.int64)
+    for v in range(n):
+        for a in (0, 1):
+            side = bits[:, bits[v] == a] if n else bits
+            for u in range(n):
+                b1 = int(side[u].sum()) if side.size else 0
+                pair[v, a, u, 1] = b1
+                pair[v, a, u, 0] = side.shape[1] - b1
+
+    def _side_profile(v: int, a: int) -> tuple:
+        return tuple(sorted(tuple(sorted(pair[v, a, u].tolist()))
+                            for u in range(n) if u != v))
+
+    neg_mask = 0
+    c0s = []
+    for v in range(n):
+        c1 = int(pair[v, 1, v, 1])
+        c0 = onset - c1
+        negate = c0 > c1 or (c0 == c1
+                             and _side_profile(v, 1) < _side_profile(v, 0))
+        if negate:
+            neg_mask |= 1 << v
+            c0 = c1
+        c0s.append(c0)
+
+    def _pair_profile(v: int) -> tuple:
+        lo = (neg_mask >> v) & 1            # the normalized 0-side of v
+        return tuple(sorted((tuple(sorted(pair[v, lo, u].tolist())),
+                             tuple(sorted(pair[v, 1 - lo, u].tolist())))
+                            for u in range(n) if u != v))
+
+    var_bit = (np.arange(size)[None, :] >> np.arange(max(n, 1))[:, None]) & 1
+    spectrum = np.abs(_walsh_hadamard(1 - 2 * f.astype(np.int64)))
+    keys = [(c0s[v], _pair_profile(v),
+             tuple(np.sort(spectrum[var_bit[v] == 1]).tolist()))
+            for v in range(n)]
+    perm = tuple(sorted(range(n), key=lambda v: keys[v]))
+    transform = NpnTransform(perm, neg_mask, out_neg)
+    return apply_transform(table, transform), transform
+
+
 def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
     """True when the two functions are in the same NPN class."""
     if a.n != b.n:

@@ -49,8 +49,10 @@ from .store import JsonStore
 from .portfolio import (
     PortfolioConfig,
     PortfolioResult,
+    area_lower_bound,
     known_strategies,
     run_portfolio,
+    run_portfolio_raced,
 )
 
 __all__ = [
@@ -67,6 +69,7 @@ __all__ = [
     "ResultCache",
     "StrategyOutcome",
     "SynthesisJob",
+    "area_lower_bound",
     "canonical_cache_key",
     "canonical_polarity_table",
     "batch_sizes",
@@ -77,6 +80,7 @@ __all__ = [
     "lattice_to_text",
     "map_sharded",
     "run_portfolio",
+    "run_portfolio_raced",
     "transform_lattice_from_canonical",
     "transform_lattice_to_canonical",
 ]

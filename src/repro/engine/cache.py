@@ -14,11 +14,17 @@ function plus a *polarity slot*:
   rewritten back to the original ``f`` by the **input-only** literal
   substitution of :func:`transform_lattice_from_canonical` (no lattice
   complementation is ever needed);
-* functions with more than :data:`MAX_NPN_VARS` variables fall back to an
-  identity witness (exact-match caching) because exact NPN
-  canonicalisation is exponential in ``n``; up to n = 6 the pruned
-  packed-uint64 search of :func:`repro.boolean.npn.npn_canonical` keeps
-  exact class-level keys affordable.
+* functions with more than :data:`MAX_NPN_VARS` variables use the
+  ``O(n 2^n)`` **semi-canonical** witness of
+  :func:`repro.boolean.npn.npn_semicanonical` (exact NPN canonicalisation
+  is exponential in ``n``): class members still share a key whenever the
+  invariant decisions are tie-free, and because the key is the content
+  hash of the *full* representative table — which the store also keeps
+  verbatim in the ``gtable`` column and re-checks on every probe — a key
+  collision between distinct functions can never surface a wrong hit.
+  Up to n = 6 the pruned packed-uint64 search of
+  :func:`repro.boolean.npn.npn_canonical` keeps exact class-level keys
+  affordable.
 
 Key texts are the :meth:`~repro.boolean.truthtable.TruthTable.content_hash`
 of the keyed table (the packed-bit wire format of ``TruthTable.to_bytes``),
@@ -40,14 +46,16 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..boolean.cube import Literal
-from ..boolean.npn import NpnTransform, npn_canonical
+from ..boolean.npn import NpnTransform, npn_canonical, npn_semicanonical
 from ..boolean.truthtable import TruthTable
 from ..crossbar.lattice import Lattice, Site
 from .jobs import StrategyOutcome
 
 #: Largest n with exact NPN-canonical cache keys.  The pruned
 #: packed-uint64 search (:func:`repro.boolean.npn.npn_canonical`) makes
-#: n = 6 affordable; beyond that the key falls back to the raw table.
+#: n = 6 affordable; beyond that the semi-canonical witness keeps
+#: class-level sharing alive (splitting a class on invariant ties, never
+#: merging two).
 MAX_NPN_VARS = 6
 
 
@@ -63,9 +71,12 @@ def canonical_cache_key(table: TruthTable,
                         ) -> tuple[str, NpnTransform]:
     """The cache key text for ``table`` plus the witness transform.
 
-    For ``n <= max_npn_vars`` the key is the content hash of the NPN
-    canonical representative; beyond that the raw table is the key
-    (identity witness), trading class-level sharing for tractability.
+    For ``n <= max_npn_vars`` the key is the content hash of the exact
+    NPN canonical representative; beyond that the semi-canonical
+    representative's hash keys the class — still a real witness
+    transform, so hits rewrite across class members, but a tie in the
+    invariant statistics may split a class across keys (never merge two
+    distinct functions under one: the key hashes the full table).
     """
     return _canonical_from_bits(table.n, table.bits, max_npn_vars)
 
@@ -79,7 +90,7 @@ def _canonical_from_bits(n: int, bits: int, max_npn_vars: int
     if n <= max_npn_vars:
         canonical, transform = npn_canonical(table)
     else:
-        canonical, transform = table, identity_transform(n)
+        canonical, transform = npn_semicanonical(table)
     return canonical.content_hash(), transform
 
 
@@ -177,11 +188,19 @@ def lattice_from_text(n: int, text: str) -> Lattice:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CachedResult:
-    """One persisted portfolio answer (for the canonical-polarity function)."""
+    """One persisted portfolio answer (for the canonical-polarity function).
+
+    ``table`` carries the full canonical-polarity truth table when the
+    entry was keyed semi-canonically (``n > MAX_NPN_VARS``): the store
+    persists it verbatim so a probe can prove the hit is for the *same*
+    function, not merely the same key.  Exact-keyed entries leave it
+    ``None`` (the exact canonical form already is the function).
+    """
 
     strategy: str
     lattice: Lattice
     outcomes: tuple[StrategyOutcome, ...]
+    table: TruthTable | None = None
 
     @property
     def area(self) -> int:
@@ -225,6 +244,7 @@ class ResultCache:
         lattice  TEXT    NOT NULL,
         outcomes TEXT    NOT NULL,
         created  REAL    NOT NULL,
+        gtable   TEXT,
         PRIMARY KEY (n, canon, polarity, config)
     )
     """
@@ -239,6 +259,14 @@ class ResultCache:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         with self._lock:
             self._conn.execute(self._SCHEMA)
+            # Migrate pre-semicanonical stores in place: the nullable
+            # gtable column (hex of TruthTable.to_bytes for wide-n
+            # entries) is simply absent there.
+            columns = {row[1] for row in self._conn.execute(
+                "PRAGMA table_info(results)")}
+            if "gtable" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN gtable TEXT")
             self._conn.commit()
 
     # -- mapping interface ------------------------------------------------
@@ -246,18 +274,20 @@ class ResultCache:
             config: str) -> CachedResult | None:
         with self._lock:
             row = self._conn.execute(
-                "SELECT strategy, lattice, outcomes FROM results"
+                "SELECT strategy, lattice, outcomes, gtable FROM results"
                 " WHERE n = ? AND canon = ? AND polarity = ? AND config = ?",
                 (n, canon, int(polarity), config),
             ).fetchone()
         if row is None:
             return None
-        strategy, lattice_text, outcomes_text = row
+        strategy, lattice_text, outcomes_text, gtable_text = row
         try:
             return CachedResult(
                 strategy=strategy,
                 lattice=lattice_from_text(n, lattice_text),
                 outcomes=_outcomes_from_json(outcomes_text),
+                table=(TruthTable.from_bytes(bytes.fromhex(gtable_text))
+                       if gtable_text else None),
             )
         except (ValueError, TypeError, KeyError, IndexError,
                 json.JSONDecodeError):
@@ -277,11 +307,13 @@ class ResultCache:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO results"
                 " (n, canon, polarity, config,"
-                "  strategy, area, lattice, outcomes, created)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "  strategy, area, lattice, outcomes, created, gtable)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [(n, canon, int(polarity), config, result.strategy,
                   result.area, lattice_to_text(result.lattice),
-                  _outcomes_to_json(result.outcomes), now)
+                  _outcomes_to_json(result.outcomes), now,
+                  result.table.to_bytes().hex()
+                  if result.table is not None else None)
                  for n, canon, polarity, config, result in entries],
             )
             self._conn.commit()

@@ -35,6 +35,7 @@ from ..boolean.truthtable import TruthTable
 from ..obs import get_logger, log_event, metrics, tracing
 from ..xbareval import implements_table
 from .cache import (
+    MAX_NPN_VARS,
     CachedResult,
     ResultCache,
     canonical_cache_key,
@@ -48,7 +49,7 @@ from .jobs import (
     SynthesisJob,
 )
 from .pool import default_processes, map_sharded
-from .portfolio import PortfolioConfig, run_portfolio
+from .portfolio import PortfolioConfig, run_portfolio, run_portfolio_raced
 
 _LOG = get_logger("engine")
 
@@ -143,11 +144,18 @@ def _race_task(task: tuple[str, int, int, tuple[str, ...]],
     """
     canon, n, bits, strategies = task
     table = TruthTable.from_bits(n, bits)
-    outcome = run_portfolio(table, strategies, config)
+    # Raced mode degrades to serial by itself inside daemonic pool
+    # workers; the verdict is identical either way.
+    race = run_portfolio_raced if config.preempt else run_portfolio
+    outcome = race(table, strategies, config)
     return canon, CachedResult(
         strategy=outcome.strategy,
         lattice=outcome.lattice,
         outcomes=outcome.outcomes,
+        # Semi-canonically keyed entries (n > MAX_NPN_VARS) persist the
+        # full synthesised table so probes can prove a hit is for the
+        # same function; exact keys don't need the extra bytes.
+        table=table if n > MAX_NPN_VARS else None,
     )
 
 
@@ -286,6 +294,14 @@ class BatchEngine:
                 polarity = transform.output_negate
                 keys.append((canon, transform))
                 cached = self.cache.get(job.n, canon, polarity, config_fp)
+                if cached is not None and cached.table is not None:
+                    # Semi-canonical keys hash the full representative, so
+                    # a collision cannot happen in practice — but the
+                    # stored table makes the guarantee unconditional: a
+                    # mismatched entry reads as a miss, never a wrong hit.
+                    if cached.table != canonical_polarity_table(table,
+                                                               transform):
+                        cached = None
                 probed.append(cached)
                 task_key = f"{job.n}/{canon}/{int(polarity)}/{config_fp}"
                 task_keys.append(task_key)

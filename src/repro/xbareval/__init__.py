@@ -28,7 +28,13 @@ suite (``tests/test_xbareval.py``) asserts agreement on every kernel, and
 and the :mod:`repro.engine` portfolio verification.
 """
 
+from .backend import (
+    BACKEND_ENV,
+    requested_backend,
+    using_numba,
+)
 from .connectivity import (
+    MAX_PACKED_ROWS,
     left_right_blocked_8_batch,
     percolation_duality_holds_batch,
     top_bottom_connected_batch,
@@ -59,8 +65,10 @@ from .placement import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
     "CHUNK_ASSIGNMENTS",
     "CHUNK_GRIDS",
+    "MAX_PACKED_ROWS",
     "SITE_CONST0",
     "SITE_CONST1",
     "SITE_LITERAL",
@@ -78,6 +86,8 @@ __all__ = [
     "percolation_duality_holds_batch",
     "placement_valid_batch",
     "placement_valid_grid",
+    "requested_backend",
     "site_masks",
     "top_bottom_connected_batch",
+    "using_numba",
 ]

@@ -1,0 +1,180 @@
+"""JIT-compiled flood and delay kernels (``NANOXBAR_BACKEND=numba``).
+
+Importing this module requires :mod:`numba`; callers must go through
+:func:`repro.xbareval.backend.numba_kernels`, which attempts the import
+once and degrades to the numpy kernels with one logged event when it
+fails.  The container images this repo targets do *not* ship numba — the
+with-numba CI job installs it and pins these kernels bit-identical to
+the numpy job through the shared golden file
+(``tests/data/core_conformance_golden.json``).
+
+Bit-exactness is by construction:
+
+* the flood kernels compute the same monotone closure as the packed
+  Kogge-Stone paths, so the boolean verdicts are identical on every
+  input;
+* the delay kernel replays the *exact* relaxation order of
+  :func:`repro.xbareval.delay.best_path_delay_batch` — sequential
+  down/up/right/left sweeps to a fixpoint, each element updated as
+  ``min(dist, prev + cost)`` — so every float64 operation chain, and
+  therefore every output bit, matches the numpy path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+
+@njit(cache=True, parallel=True)
+def _top_bottom_flood(grids):  # pragma: no cover - exercised by numba CI job
+    batch, rows, cols = grids.shape
+    out = np.zeros(batch, dtype=np.bool_)
+    for b in prange(batch):
+        reach = np.zeros((rows, cols), dtype=np.bool_)
+        for c in range(cols):
+            reach[0, c] = grids[b, 0, c]
+        changed = True
+        while changed:
+            changed = False
+            for r in range(1, rows):
+                for c in range(cols):
+                    if grids[b, r, c] and not reach[r, c] and reach[r - 1, c]:
+                        reach[r, c] = True
+                        changed = True
+            for r in range(rows - 2, -1, -1):
+                for c in range(cols):
+                    if grids[b, r, c] and not reach[r, c] and reach[r + 1, c]:
+                        reach[r, c] = True
+                        changed = True
+            for c in range(1, cols):
+                for r in range(rows):
+                    if grids[b, r, c] and not reach[r, c] and reach[r, c - 1]:
+                        reach[r, c] = True
+                        changed = True
+            for c in range(cols - 2, -1, -1):
+                for r in range(rows):
+                    if grids[b, r, c] and not reach[r, c] and reach[r, c + 1]:
+                        reach[r, c] = True
+                        changed = True
+        for c in range(cols):
+            if reach[rows - 1, c]:
+                out[b] = True
+                break
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _left_right_flood_8(grids):  # pragma: no cover - exercised by numba CI job
+    batch, rows, cols = grids.shape
+    out = np.zeros(batch, dtype=np.bool_)
+    for b in prange(batch):
+        reach = np.zeros((rows, cols), dtype=np.bool_)
+        for r in range(rows):
+            reach[r, 0] = not grids[b, r, 0]
+        changed = True
+        while changed:
+            changed = False
+            for r in range(1, rows):       # vertical 8-adjacency (degenerate)
+                for c in range(cols):
+                    if (not grids[b, r, c]) and not reach[r, c] and reach[r - 1, c]:
+                        reach[r, c] = True
+                        changed = True
+            for r in range(rows - 2, -1, -1):
+                for c in range(cols):
+                    if (not grids[b, r, c]) and not reach[r, c] and reach[r + 1, c]:
+                        reach[r, c] = True
+                        changed = True
+            for c in range(1, cols):       # horizontal: straight + diagonals
+                for r in range(rows):
+                    if (not grids[b, r, c]) and not reach[r, c]:
+                        hit = reach[r, c - 1]
+                        if not hit and r > 0:
+                            hit = reach[r - 1, c - 1]
+                        if not hit and r < rows - 1:
+                            hit = reach[r + 1, c - 1]
+                        if hit:
+                            reach[r, c] = True
+                            changed = True
+            for c in range(cols - 2, -1, -1):
+                for r in range(rows):
+                    if (not grids[b, r, c]) and not reach[r, c]:
+                        hit = reach[r, c + 1]
+                        if not hit and r > 0:
+                            hit = reach[r - 1, c + 1]
+                        if not hit and r < rows - 1:
+                            hit = reach[r + 1, c + 1]
+                        if hit:
+                            reach[r, c] = True
+                            changed = True
+        for r in range(rows):
+            if reach[r, cols - 1]:
+                out[b] = True
+                break
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _best_path_delay(grids, res):  # pragma: no cover - exercised by numba CI
+    batch, rows, cols = grids.shape
+    out = np.empty(batch, dtype=np.float64)
+    for b in prange(batch):
+        cost = np.empty((rows, cols), dtype=np.float64)
+        dist = np.empty((rows, cols), dtype=np.float64)
+        for r in range(rows):
+            for c in range(cols):
+                cost[r, c] = res[b, r, c] if grids[b, r, c] else np.inf
+                dist[r, c] = np.inf
+        for c in range(cols):
+            dist[0, c] = cost[0, c]
+        changed = True
+        while changed:
+            changed = False
+            for r in range(1, rows):          # downward sweep
+                for c in range(cols):
+                    cand = dist[r - 1, c] + cost[r, c]
+                    if cand < dist[r, c]:
+                        dist[r, c] = cand
+                        changed = True
+            for r in range(rows - 2, -1, -1):  # upward sweep
+                for c in range(cols):
+                    cand = dist[r + 1, c] + cost[r, c]
+                    if cand < dist[r, c]:
+                        dist[r, c] = cand
+                        changed = True
+            for c in range(1, cols):          # rightward sweep
+                for r in range(rows):
+                    cand = dist[r, c - 1] + cost[r, c]
+                    if cand < dist[r, c]:
+                        dist[r, c] = cand
+                        changed = True
+            for c in range(cols - 2, -1, -1):  # leftward sweep
+                for r in range(rows):
+                    cand = dist[r, c + 1] + cost[r, c]
+                    if cand < dist[r, c]:
+                        dist[r, c] = cand
+                        changed = True
+        best = np.inf
+        for c in range(cols):
+            if dist[rows - 1, c] < best:
+                best = dist[rows - 1, c]
+        out[b] = best
+    return out
+
+
+def top_bottom_connected_batch(grids: np.ndarray) -> np.ndarray:
+    """JIT per-grid top-bottom flood; callers pre-validate shapes."""
+    return _top_bottom_flood(np.ascontiguousarray(grids, dtype=np.bool_))
+
+
+def left_right_blocked_8_batch(grids: np.ndarray) -> np.ndarray:
+    """JIT per-grid OFF-site 8-flood; callers pre-validate shapes."""
+    return _left_right_flood_8(np.ascontiguousarray(grids, dtype=np.bool_))
+
+
+def best_path_delay_batch(grids: np.ndarray, resistance: np.ndarray) -> np.ndarray:
+    """JIT Bellman-Ford delay, bit-identical to the numpy sweep order."""
+    g = np.ascontiguousarray(grids, dtype=np.bool_)
+    res = np.ascontiguousarray(
+        np.broadcast_to(np.asarray(resistance, dtype=np.float64), g.shape))
+    return _best_path_delay(g, res)

@@ -1,0 +1,108 @@
+"""Kernel backend selection for the evaluation core (``NANOXBAR_BACKEND``).
+
+The flood (:mod:`repro.xbareval.connectivity`) and delay
+(:mod:`repro.xbareval.delay`) kernels ship with several interchangeable
+implementations; this module picks one from the environment:
+
+* ``NANOXBAR_BACKEND`` unset or ``auto`` — the default dispatch: the
+  scipy ``ndimage`` label pass when importable and healthy, then the
+  packed-uint64 Kogge-Stone floods (single-word up to 64 rows,
+  multi-word beyond);
+* ``NANOXBAR_BACKEND=numpy`` — force the pure-numpy packed path and skip
+  the scipy accelerator (the benchmarking/conformance baseline);
+* ``NANOXBAR_BACKEND=numba`` — JIT-compiled per-grid kernels
+  (:mod:`repro.xbareval._numba_kernels`) when :mod:`numba` is importable.
+  Missing or broken numba degrades to ``auto`` with one logged event —
+  the knob is an accelerator request, never a hard dependency.
+
+Every backend is bit-exact against the pure-numpy reference; the shared
+conformance suite (``tests/test_core_conformance.py``) pins all of them
+to one committed golden file, so a numba CI job and a no-numba CI job
+must produce identical kernel outputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: The environment knob naming the requested backend.
+BACKEND_ENV = "NANOXBAR_BACKEND"
+
+#: Recognised values of :data:`BACKEND_ENV`.
+KNOWN_BACKENDS = ("auto", "numpy", "numba")
+
+#: Import-attempt memo: ``None`` = not tried yet, ``False`` = numba
+#: unavailable (logged once), otherwise the kernels module.
+_numba_module: object | None = None
+
+#: One-shot flags so fallback/unknown-value events log exactly once.
+_warned_unavailable = False
+_warned_unknown: set[str] = set()
+
+
+def requested_backend() -> str:
+    """The raw (lower-cased) ``NANOXBAR_BACKEND`` request, default ``auto``.
+
+    Unknown values degrade to ``auto`` with one logged event per value —
+    a typo must not silently change which kernels run without a trace.
+    """
+    global _warned_unknown
+    value = os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+    if value not in KNOWN_BACKENDS:
+        if value not in _warned_unknown:
+            _warned_unknown.add(value)
+            _log_event("unknown backend requested", requested=value)
+        return "auto"
+    return value
+
+
+def numba_kernels():
+    """The JIT kernels module, or ``None`` (unavailable / not requested).
+
+    The numba import (and its compile machinery) is attempted at most
+    once per process; an unavailable or broken numba logs one structured
+    event and pins the answer to ``None`` so every later call is a cheap
+    memo read.
+    """
+    global _numba_module, _warned_unavailable
+    if requested_backend() != "numba":
+        return None
+    if _numba_module is None:
+        try:
+            from . import _numba_kernels
+            _numba_module = _numba_kernels
+        except Exception as error:  # noqa: BLE001 - any import/ABI failure
+            _numba_module = False
+            if not _warned_unavailable:
+                _warned_unavailable = True
+                _log_event("numba backend unavailable, using numpy",
+                           error=f"{type(error).__name__}: {error}")
+    return _numba_module or None
+
+
+def using_numba() -> bool:
+    """True when ``NANOXBAR_BACKEND=numba`` resolved to live kernels."""
+    return numba_kernels() is not None
+
+
+def force_numpy() -> bool:
+    """True when ``NANOXBAR_BACKEND=numpy`` pins the pure packed path."""
+    return requested_backend() == "numpy"
+
+
+def reset_backend_cache() -> None:
+    """Forget the import memo and one-shot warnings (test hook)."""
+    global _numba_module, _warned_unavailable
+    _numba_module = None
+    _warned_unavailable = False
+    _warned_unknown.clear()
+
+
+def _log_event(message: str, **fields) -> None:
+    """Structured one-liner through repro.obs (imported lazily: the
+    evaluation core must stay importable before obs is configured)."""
+    try:
+        from ..obs import get_logger, log_event
+        log_event(get_logger("xbareval.backend"), message, **fields)
+    except Exception:  # pragma: no cover - logging must never break kernels
+        pass

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from . import backend as _backend
 from .lattice_eval import conduction_tensor, lattice_truthtable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,6 +69,11 @@ def best_path_delay_batch(conduction: np.ndarray,
                           grids.shape)
     if (res <= 0).any():
         raise ValueError("resistances must be positive")
+    kernels = _backend.numba_kernels()
+    if kernels is not None:
+        # Bit-identical by construction: the JIT kernel replays this
+        # function's exact sweep order (see _numba_kernels).
+        return kernels.best_path_delay_batch(grids, res)
     # OFF sites cost inf: relaxation can never route through them, and a
     # grid with no conducting path keeps an all-inf bottom row.
     site_cost = np.where(grids, res, np.inf)

@@ -10,6 +10,7 @@ from repro.boolean import (
     npn_canonical,
     npn_classes,
     npn_equivalent,
+    npn_semicanonical,
 )
 from repro.boolean.npn import NpnTransform
 from repro.synthesis import (
@@ -70,6 +71,52 @@ class TestNpn:
             npn_canonical(TruthTable.constant(7, True))
         with pytest.raises(ValueError):
             count_npn_classes(4)
+
+
+class TestNpnSemicanonical:
+    """The wide-n semi-canonical key: always a valid witness, never merges
+    distinct classes, and in practice agrees across random classmates."""
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_transform_is_witness(self, t):
+        rep, transform = npn_semicanonical(t)
+        assert apply_transform(t, transform) == rep
+
+    @given(tables(2), st.permutations([0, 1]),
+           st.integers(min_value=0, max_value=3), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_never_merges_classes(self, t, perm, neg, out):
+        # two tables mapping to the same representative ARE NPN-equivalent
+        # (the representative is itself an NPN transform of each)
+        other = apply_transform(t, NpnTransform(tuple(perm), neg, out))
+        rep_t, _ = npn_semicanonical(t)
+        rep_o, _ = npn_semicanonical(other)
+        if rep_t == rep_o:
+            assert npn_equivalent(t, other)
+
+    def test_wide_n_classmates_usually_agree(self):
+        # semi-canonical means a class MAY split, but random n=7 functions
+        # should near-always collapse (the engine cache relies on this for
+        # its hit rate; exactness is guaranteed separately by the stored
+        # g-table probe)
+        import random
+
+        rng = random.Random(99)
+        agree = trials = 0
+        for _ in range(12):
+            t = TruthTable.from_bits(7, rng.getrandbits(1 << 7))
+            rep, _ = npn_semicanonical(t)
+            for _ in range(3):
+                perm = list(range(7))
+                rng.shuffle(perm)
+                mate = apply_transform(
+                    t, NpnTransform(tuple(perm), rng.getrandbits(7),
+                                    bool(rng.getrandbits(1))))
+                trials += 1
+                agree += npn_semicanonical(mate)[0] == rep
+        assert trials == 36
+        assert agree >= 34  # near-perfect collapse on random functions
 
 
 class TestEnumeration:

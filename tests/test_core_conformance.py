@@ -1,0 +1,112 @@
+"""Cross-backend kernel conformance against a committed golden file.
+
+The flood and delay kernels promise *bit-identical* outputs whatever
+executes them — single-word packed, multi-word packed, the scipy label
+pass, or the optional numba backend (``NANOXBAR_BACKEND=numba``).  This
+suite pins that promise to ``tests/data/core_conformance_golden.json``:
+sha256 digests of the raw output bytes on deterministic, arithmetically
+synthesized workloads (no RNG, so the inputs are identical on every
+platform and numpy version).
+
+CI runs the same file under the numpy job and the numba job; both must
+match the one golden, which is what makes the backends provably
+bit-identical to each other without ever installing both in one job.
+
+Regenerate (only after an intentional kernel-semantics change) with::
+
+    PYTHONPATH=src python tests/test_core_conformance.py --write
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+
+import pytest
+
+from repro.xbareval import (
+    best_path_delay_batch,
+    left_right_blocked_8_batch,
+    top_bottom_connected_batch,
+    using_numba,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "core_conformance_golden.json"
+
+#: (batch, rows, cols) regimes: scalar-sized, the 64-row single-word
+#: boundary, the first multi-word row count, and a genuinely tall grid.
+CASES = ((16, 5, 4), (8, 63, 6), (8, 64, 6), (8, 65, 6), (4, 128, 9))
+
+
+def _grids(batch: int, rows: int, cols: int) -> np.ndarray:
+    """Deterministic boolean grids — pure integer arithmetic, no RNG."""
+    b, r, c = np.meshgrid(np.arange(batch), np.arange(rows),
+                          np.arange(cols), indexing="ij")
+    return ((3 * b + 5 * r + 7 * c + r * c) % 11) < 6
+
+
+def _resistance(batch: int, rows: int, cols: int) -> np.ndarray:
+    b, r, c = np.meshgrid(np.arange(batch), np.arange(rows),
+                          np.arange(cols), indexing="ij")
+    return 1.0 + (2 * b + 3 * r + 5 * c) % 13
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _case_record(batch: int, rows: int, cols: int) -> dict:
+    grids = _grids(batch, rows, cols)
+    return {
+        "batch": batch, "rows": rows, "cols": cols,
+        "top_bottom": _digest(top_bottom_connected_batch(grids)),
+        "left_right_blocked": _digest(left_right_blocked_8_batch(grids)),
+        "delay": _digest(best_path_delay_batch(
+            grids, _resistance(batch, rows, cols))),
+    }
+
+
+def test_golden_file_is_in_sync_with_cases():
+    golden = json.loads(GOLDEN.read_text())
+    assert [(c["batch"], c["rows"], c["cols"]) for c in golden["cases"]] \
+        == list(CASES)
+
+
+@pytest.mark.parametrize("batch,rows,cols", CASES)
+def test_kernel_outputs_match_golden(batch, rows, cols):
+    golden = json.loads(GOLDEN.read_text())
+    want = next(c for c in golden["cases"]
+                if (c["batch"], c["rows"], c["cols"]) == (batch, rows, cols))
+    got = _case_record(batch, rows, cols)
+    # one comparison per kernel so a mismatch names the guilty kernel
+    assert got["top_bottom"] == want["top_bottom"]
+    assert got["left_right_blocked"] == want["left_right_blocked"]
+    assert got["delay"] == want["delay"]
+
+
+def test_backend_identity_is_reported():
+    """Smoke doc: the active backend is queryable (CI logs rely on it)."""
+    assert using_numba() in (True, False)
+
+
+def _write_golden() -> None:
+    GOLDEN.parent.mkdir(exist_ok=True)
+    payload = {
+        "comment": "sha256 of raw kernel output bytes; shared by the "
+                   "numpy and numba CI jobs to prove bit-identity",
+        "cases": [_case_record(*case) for case in CASES],
+    }
+    GOLDEN.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        _write_golden()
+    else:
+        print(__doc__)

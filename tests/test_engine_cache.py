@@ -97,14 +97,29 @@ class TestCanonicalRoundTrip:
             assert transform_lattice_from_canonical(
                 lattice, transform).implements(table)
 
-    def test_large_n_falls_back_to_identity_witness(self):
-        # n = 6 now gets exact NPN keys; the identity fallback starts at 7
-        table = TruthTable.from_bits(7, (1 << 128) - 2)
+    def test_large_n_uses_semicanonical_witness(self):
+        """Past n = 6 the key comes from npn_semicanonical: still a real
+        witness (g reachable from f by input transforms alone), and
+        classmates share the key when the invariants are tie-free."""
+        from repro.boolean.npn import NpnTransform, npn_semicanonical
+
+        rng = random.Random(13)
+        table = TruthTable.from_bits(7, rng.getrandbits(128))
         canon, transform = canonical_cache_key(table)
-        assert transform.permutation == tuple(range(7))
-        assert transform.input_negation_mask == 0
-        assert not transform.output_negate
-        assert canonical_polarity_table(table, transform) == table
+        rep, semi_transform = npn_semicanonical(table)
+        assert transform == semi_transform
+        assert canon == rep.content_hash()
+        # the witness is real: the canonical-polarity g round-trips
+        g = canonical_polarity_table(table, transform)
+        assert apply_transform(table, transform) == \
+            (~g if transform.output_negate else g)
+        # classmates land on the same key (random n=7 tables are tie-free)
+        for _ in range(5):
+            mate = apply_transform(table, NpnTransform(
+                tuple(rng.sample(range(7), 7)), rng.getrandbits(7),
+                rng.random() < 0.5))
+            mate_canon, _ = canonical_cache_key(mate)
+            assert mate_canon == canon
 
     def test_n6_gets_exact_npn_keys(self):
         """The lifted limit: n = 6 classmates share one canonical key

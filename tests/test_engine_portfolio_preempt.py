@@ -1,0 +1,98 @@
+"""Portfolio preemption: raced verdicts must equal serial verdicts.
+
+``run_portfolio_raced`` kills pending strategies only when the verified
+incumbent has hit the area lower bound AND no pending strategy could
+displace it on the tie-goes-earlier rule.  That proof obligation means
+the raced winner (strategy name, lattice, area) is *identical* to the
+serial one — asserted here over randomized tables plus a hand-picked
+lower-bound hit where preemption provably fires.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolean.truthtable import TruthTable
+from repro.engine import (
+    DEFAULT_STRATEGIES,
+    PortfolioConfig,
+    area_lower_bound,
+    run_portfolio,
+    run_portfolio_raced,
+)
+
+
+class TestAreaLowerBound:
+    def test_support_sized(self):
+        assert area_lower_bound(TruthTable.from_minterms(3, [7])) == 3
+        # x0 alone: one labelled site suffices and is required
+        assert area_lower_bound(TruthTable.from_bits(1, 0b10)) == 1
+
+    def test_constants_floor_at_one(self):
+        assert area_lower_bound(TruthTable.constant(2, True)) == 1
+        assert area_lower_bound(TruthTable.constant(2, False)) == 1
+
+
+class TestRacedMatchesSerial:
+    def test_randomized_verdicts_identical(self):
+        rng = random.Random(21)
+        config = PortfolioConfig(preempt=True)
+        for _ in range(8):
+            n = rng.randint(1, 3)
+            table = TruthTable.from_bits(n, rng.getrandbits(1 << n))
+            serial = run_portfolio(table, config=config)
+            raced = run_portfolio_raced(table, config=config)
+            assert raced.strategy == serial.strategy
+            assert raced.area == serial.area
+            assert raced.lattice == serial.lattice
+
+    def test_lower_bound_hit_preempts_later_strategies(self):
+        # f = x0 over 3 vars: dual wins immediately at area == LB == 1,
+        # so every later strategy is provably a non-winner
+        table = TruthTable.from_bits(3, 0b10101010)
+        assert area_lower_bound(table) == 1
+        raced = run_portfolio_raced(table, config=PortfolioConfig())
+        assert raced.strategy == "dual"
+        assert raced.area == 1
+        statuses = {o.strategy: o.status for o in raced.outcomes}
+        assert statuses["dual"] == "ok"
+        later = [s for s in DEFAULT_STRATEGIES if s != "dual"]
+        assert later and all(statuses[s] == "preempted" for s in later)
+        # and the verdict still matches serial exactly
+        serial = run_portfolio(table, config=PortfolioConfig())
+        assert (raced.strategy, raced.area) == (serial.strategy, serial.area)
+        assert raced.lattice == serial.lattice
+
+    def test_constant_short_circuits_without_processes(self):
+        raced = run_portfolio_raced(TruthTable.constant(2, False))
+        serial = run_portfolio(TruthTable.constant(2, False))
+        assert raced.lattice == serial.lattice
+        assert raced.strategy == serial.strategy
+
+    def test_single_strategy_falls_back_to_serial(self):
+        table = TruthTable.from_minterms(2, [1, 2])
+        raced = run_portfolio_raced(table, strategies=("dual",))
+        serial = run_portfolio(table, strategies=("dual",))
+        assert raced.lattice == serial.lattice
+        assert all(o.status != "preempted" for o in raced.outcomes)
+
+    def test_validation_mirrors_serial(self):
+        with pytest.raises(ValueError):
+            run_portfolio_raced(TruthTable.from_bits(1, 0b10),
+                                strategies=("nonsense",))
+        # empty portfolio: same RuntimeError as the serial path
+        with pytest.raises(RuntimeError):
+            run_portfolio_raced(TruthTable.from_bits(1, 0b10),
+                                strategies=())
+
+
+class TestPreemptCacheCompatibility:
+    def test_fingerprint_ignores_preempt_flag(self):
+        # raced and serial verdicts are identical by contract, so cache
+        # entries written under either mode must be interchangeable
+        on = PortfolioConfig(preempt=True).fingerprint()
+        off = PortfolioConfig(preempt=False).fingerprint()
+        assert on == off
+        assert PortfolioConfig(dreducible_max_vars=3).fingerprint() != off
