@@ -18,7 +18,7 @@ def test_metrics_table(benchmark, save_table):
     by_bench: dict = {}
     for row in result.rows:
         by_bench.setdefault(row["benchmark"], {})[row["style"]] = row
-    for name, styles in by_bench.items():
+    for styles in by_bench.values():
         assert set(styles) == {"diode", "fet", "lattice"}
         # only diode planes burn static power in these models
         assert styles["diode"]["power"] > styles["fet"]["power"]

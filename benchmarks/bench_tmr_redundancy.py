@@ -7,10 +7,10 @@ defects.  Checks the classic TMR crossover shape.
 
 import random
 
+from repro.eval.benchsuite import by_name
 from repro.eval.experiments import get_experiment
 from repro.reliability import majority_voter_lattice, tmr_reliability
 from repro.synthesis import fold_lattice, synthesize_lattice_dual
-from repro.eval.benchsuite import by_name
 
 
 def test_tmr_table(benchmark, save_table):

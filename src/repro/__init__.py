@@ -21,6 +21,9 @@ Sub-packages:
 * :mod:`repro.xbareval`    — batched packed-bitset lattice evaluation core
   (whole truth tables, placement sweeps and shortest-path delay relaxation
   per kernel call; the scalar references remain as bit-exact checks)
+* :mod:`repro.analysis`    — invariant lint engine (``nanoxbar lint``)
+  and runtime lock sanitizer (``NANOXBAR_LOCKCHECK=1``) guarding the
+  determinism / concurrency / layering contracts above
 
 Quickstart::
 
@@ -53,8 +56,8 @@ drives the whole standard benchmark suite through it in one shot::
         print(engine.report())       # hit rate, dedup, throughput, wins
 """
 
-from . import arch, boolean, crossbar, eval, reliability, sat, synthesis
-from . import engine, xbareval
+from . import analysis, arch, boolean, crossbar, eval, reliability, sat
+from . import engine, synthesis, xbareval
 from .boolean import BooleanFunction, Cover, Cube, Literal, TruthTable
 from .crossbar import DiodeCrossbar, FetCrossbar, Lattice
 from .engine import BatchEngine, JobResult, SynthesisJob
@@ -69,6 +72,23 @@ from .synthesis import (
 
 __version__ = "1.0.0"
 
+
+def _wire_kernel_event_sink() -> None:
+    """Composition root: kernels emit operational events through the
+    :mod:`repro.xbareval.events` seam with no knowledge of repro.obs;
+    only here, where every layer is visible, is the structured logger
+    injected as the sink (lint rule NX302 keeps it that way)."""
+    from .obs import get_logger, log_event
+    from .xbareval import events
+
+    def _sink(source: str, message: str, **fields: object) -> None:
+        log_event(get_logger(source), message, **fields)
+
+    events.set_event_sink(_sink)
+
+
+_wire_kernel_event_sink()
+
 __all__ = [
     "BatchEngine",
     "BooleanFunction",
@@ -82,6 +102,7 @@ __all__ = [
     "SynthesisJob",
     "TruthTable",
     "__version__",
+    "analysis",
     "arch",
     "boolean",
     "crossbar",

@@ -1,0 +1,62 @@
+"""repro.analysis — invariant lint engine + runtime concurrency sanitizer.
+
+The reproduction's guarantees (bit-exact kernels, content-addressed
+campaign entropy, serial == pooled == served identity, fork-safety from
+server worker threads) were enforced by convention and by bugs already
+paid for.  This package turns them into machine checks:
+
+* :mod:`repro.analysis.linting` — single-pass AST lint engine: visitor
+  dispatch, rule registry, per-line ``# nanoxbar: allow[RULE] -- reason``
+  suppressions, human + JSON output (``nanoxbar lint``).
+* :mod:`repro.analysis.rules_determinism` (NX1xx),
+  :mod:`repro.analysis.rules_concurrency` (NX2xx),
+  :mod:`repro.analysis.rules_layering` (NX3xx) — the repo-specific rule
+  catalog; ``nanoxbar lint --rules`` prints it.
+* :mod:`repro.analysis.selftest` — every rule proves it fires on its
+  violating fixture and stays silent on the repaired form
+  (``nanoxbar lint --self-test``).
+* :mod:`repro.analysis.lockwatch` — runtime sanitizer: instruments locks
+  created after install to flag lock-order inversions and locks held
+  across ``os.fork`` / pool spawn (``NANOXBAR_LOCKCHECK=1``).
+
+Quickstart::
+
+    from repro.analysis import lint_paths, render_human
+    report = lint_paths(["src"])
+    print(render_human(report))
+    raise SystemExit(report.exit_code)
+"""
+
+from . import lockwatch
+from .linting import (
+    Finding,
+    LintReport,
+    ModuleContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+    rule_catalog,
+)
+from .lockwatch import LockWatch
+from .report import render_human, render_json, render_rules
+from .selftest import run_selftest
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LockWatch",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "lockwatch",
+    "register",
+    "render_human",
+    "render_json",
+    "render_rules",
+    "rule_catalog",
+    "run_selftest",
+]

@@ -1,0 +1,346 @@
+"""Runtime lock sanitizer: order-inversion and fork-while-held detection.
+
+``NANOXBAR_LOCKCHECK=1`` (wired through ``tests/conftest.py``) patches
+``threading.Lock`` / ``threading.RLock`` so every lock created afterwards
+is instrumented.  The watcher maintains
+
+* a per-thread stack of held locks, and a global *acquisition-order
+  graph*: an edge ``A -> B`` the first time some thread acquires ``B``
+  while holding ``A``.  Observing both ``A -> B`` and ``B -> A`` is a
+  potential deadlock even if this run never interleaved badly — the
+  classic lockset argument — and is recorded as a violation with both
+  witness sites.
+* a global table of currently-held locks, checked when the process is
+  about to ``os.fork`` (or when :func:`check_fork_safety` is called at a
+  pool-spawn boundary): a lock held by *another* thread at fork time is
+  copied locked into the child and can never be released there — the
+  exact deadlock PR 5 paid for.
+
+Violations are recorded (and logged once each), not raised: the
+sanitizer must be able to run under the whole tier-1 suite.  The pytest
+wiring fails the session if any violation was recorded; tests that seed
+violations on purpose use a private :class:`LockWatch` instance.
+
+Locks created *before* :func:`install` (module-import-time locks) are
+not instrumented; coverage targets the engines, stores, servers and
+recorders each test constructs.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+ENV_FLAG = "NANOXBAR_LOCKCHECK"
+
+#: stdlib frames to skip past when attributing an acquire site: the
+#: sanitizer wants the *application* frame, not Condition/Queue innards.
+_SKIP_SUFFIXES = ("lockwatch.py", "threading.py", "queue.py")
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest frame outside this module (cheap:
+    raw frame walk, no source loading — this runs on every acquire)."""
+    frame = sys._getframe(1)
+    while frame is not None and \
+            frame.f_code.co_filename.endswith(_SKIP_SUFFIXES):
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One recorded hazard."""
+
+    kind: str              # "lock-order-inversion" | "fork-while-held"
+    message: str
+    locks: tuple[str, ...] = ()
+    sites: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        detail = "; ".join(self.sites)
+        return f"[{self.kind}] {self.message}" + \
+            (f"  ({detail})" if detail else "")
+
+
+@dataclass
+class _Held:
+    lock_uid: int
+    name: str
+    thread_id: int
+    site: str
+    count: int = 1
+
+
+class LockWatch:
+    """One sanitizer instance (the installed one is process-global)."""
+
+    def __init__(self) -> None:
+        self._meta = _thread.allocate_lock()   # raw: never instrumented
+        self._next_uid = 0
+        #: (uid_a, uid_b) -> witness "nameA@siteA -> nameB@siteB"
+        self._edges: dict[tuple[int, int], str] = {}
+        #: thread id -> ordered list of _Held
+        self._stacks: dict[int, list[_Held]] = {}
+        self._violations: list[LockViolation] = []
+        self._names: dict[int, str] = {}
+
+    # -- factories --------------------------------------------------------
+    def make_lock(self, name: str | None = None) -> "_WatchedLock":
+        return _WatchedLock(self, self._register(name))
+
+    def make_rlock(self, name: str | None = None) -> "_WatchedRLock":
+        lock = _WatchedRLock(self)
+        lock._watch_uid = self._register(name)
+        return lock
+
+    def _register(self, name: str | None) -> int:
+        with self._meta:
+            self._next_uid += 1
+            uid = self._next_uid
+            self._names[uid] = name or f"lock-{uid}@{_call_site()}"
+        return uid
+
+    # -- reporting --------------------------------------------------------
+    def violations(self) -> list[LockViolation]:
+        with self._meta:
+            return list(self._violations)
+
+    def clear(self) -> None:
+        with self._meta:
+            self._violations.clear()
+            self._edges.clear()
+
+    def render_report(self) -> str:
+        violations = self.violations()
+        if not violations:
+            return "lockwatch: no violations recorded"
+        lines = [f"lockwatch: {len(violations)} violation(s)"]
+        lines.extend("  " + violation.render() for violation in violations)
+        return "\n".join(lines)
+
+    def _record(self, violation: LockViolation) -> None:
+        # Caller holds _meta: only append here.  Telemetry goes through
+        # _log_after, *outside* _meta — log_event may itself acquire an
+        # instrumented lock, which would re-enter the watcher.
+        self._violations.append(violation)
+
+    @staticmethod
+    def _log_after(violations: list[LockViolation]) -> None:
+        for violation in violations:
+            try:
+                from ..obs import get_logger, log_event
+                log_event(get_logger("analysis.lockwatch"),
+                          violation.message, kind=violation.kind)
+            except Exception:
+                pass  # never let telemetry break the sanitizer
+
+    # -- acquisition bookkeeping -----------------------------------------
+    def _note_acquired(self, uid: int, site: str) -> None:
+        tid = threading.get_ident()
+        new_violations: list[LockViolation] = []
+        with self._meta:
+            stack = self._stacks.setdefault(tid, [])
+            for held in stack:
+                if held.lock_uid == uid:
+                    held.count += 1       # reentrant re-acquire
+                    return
+            for held in stack:
+                edge = (held.lock_uid, uid)
+                reverse = (uid, held.lock_uid)
+                witness = (f"{self._names[held.lock_uid]}"
+                           f"@{held.site} -> {self._names[uid]}@{site}")
+                if reverse in self._edges and edge not in self._edges:
+                    violation = LockViolation(
+                        "lock-order-inversion",
+                        f"{self._names[held.lock_uid]} and "
+                        f"{self._names[uid]} are acquired in both orders",
+                        locks=(self._names[held.lock_uid],
+                               self._names[uid]),
+                        sites=(self._edges[reverse], witness))
+                    self._record(violation)
+                    new_violations.append(violation)
+                self._edges.setdefault(edge, witness)
+            stack.append(_Held(uid, self._names[uid], tid, site))
+        self._log_after(new_violations)
+
+    def _note_released(self, uid: int, fully: bool = False) -> None:
+        tid = threading.get_ident()
+        with self._meta:
+            stack = self._stacks.get(tid, [])
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index].lock_uid == uid:
+                    stack[index].count -= 1
+                    if fully or stack[index].count <= 0:
+                        del stack[index]
+                    break
+
+    def _held_elsewhere(self, tid: int) -> Iterator[_Held]:
+        for other_tid, stack in self._stacks.items():
+            if other_tid != tid:
+                yield from stack
+
+    def check_fork_safety(self, origin: str) -> None:
+        """Record a violation if another thread holds a watched lock."""
+        tid = threading.get_ident()
+        alive = {t.ident for t in threading.enumerate()}
+        new_violations: list[LockViolation] = []
+        with self._meta:
+            held = [h for h in self._held_elsewhere(tid)
+                    if h.thread_id in alive]
+            if held:
+                names = sorted(f"{h.name}@{h.site}" for h in held)
+                violation = LockViolation(
+                    "fork-while-held",
+                    f"{origin}: {len(held)} lock(s) held by other "
+                    "threads would be copied locked into the child",
+                    locks=tuple(h.name for h in held),
+                    sites=tuple(names))
+                self._record(violation)
+                new_violations.append(violation)
+        self._log_after(new_violations)
+
+
+class _WatchedLock:
+    """Proxy around a raw lock; API-compatible with threading.Lock."""
+
+    def __init__(self, watch: LockWatch, uid: int) -> None:
+        self._watch = watch
+        self._watch_uid = uid
+        self._inner = _thread.allocate_lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._watch._note_acquired(self._watch_uid, _call_site())
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watch._note_released(self._watch_uid)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def _at_fork_reinit(self) -> None:
+        self._inner = _thread.allocate_lock()
+
+    def __repr__(self) -> str:
+        return (f"<WatchedLock {self._watch._names.get(self._watch_uid)} "
+                f"locked={self.locked()}>")
+
+
+class _WatchedRLock(threading._RLock):
+    """Instrumented reentrant lock.
+
+    Subclasses the pure-python RLock so ``threading.Condition`` keeps its
+    ``_is_owned`` / ``_release_save`` / ``_acquire_restore`` fast paths —
+    those bypass ``release()``, so they are overridden here to keep the
+    held-stack truthful across ``Condition.wait``.
+    """
+
+    _watch_uid = 0
+
+    def __init__(self, watch: LockWatch) -> None:
+        super().__init__()
+        self._watch = watch
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = super().acquire(blocking, timeout)
+        if ok:
+            self._watch._note_acquired(self._watch_uid, _call_site())
+        return ok
+
+    __enter__ = acquire
+
+    def release(self) -> None:
+        super().release()
+        self._watch._note_released(self._watch_uid)
+
+    def _release_save(self):  # Condition.wait: full release
+        state = super()._release_save()
+        self._watch._note_released(self._watch_uid, fully=True)
+        return state
+
+    def _acquire_restore(self, state) -> None:  # Condition.wait: reacquire
+        super()._acquire_restore(state)
+        self._watch._note_acquired(self._watch_uid, _call_site())
+
+
+_active: LockWatch | None = None
+_saved_factories: tuple | None = None
+_fork_hook_registered = False
+
+
+def active_watcher() -> LockWatch | None:
+    """The installed process-global watcher, if any."""
+    return _active
+
+
+def enabled_by_env() -> bool:
+    value = os.environ.get(ENV_FLAG, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def install(watch: LockWatch | None = None) -> LockWatch:
+    """Patch threading's lock factories; idempotent."""
+    global _active, _saved_factories, _fork_hook_registered
+    if _active is not None:
+        return _active
+    _active = watch or LockWatch()
+    _saved_factories = (threading.Lock, threading.RLock)
+
+    def _lock_factory() -> _WatchedLock:
+        return _active.make_lock() if _active is not None \
+            else _thread.allocate_lock()
+
+    def _rlock_factory() -> _WatchedRLock:
+        return _active.make_rlock() if _active is not None \
+            else threading._RLock()
+
+    threading.Lock = _lock_factory            # type: ignore[assignment]
+    threading.RLock = _rlock_factory          # type: ignore[assignment]
+    if not _fork_hook_registered and hasattr(os, "register_at_fork"):
+        # register_at_fork cannot be undone, so the hook checks _active.
+        os.register_at_fork(before=_before_fork)
+        _fork_hook_registered = True
+    return _active
+
+
+def uninstall() -> None:
+    """Restore the stock factories (existing watched locks keep working)."""
+    global _active, _saved_factories
+    if _saved_factories is not None:
+        threading.Lock, threading.RLock = _saved_factories
+        _saved_factories = None
+    _active = None
+
+
+def _before_fork() -> None:
+    if _active is not None:
+        _active.check_fork_safety("os.fork")
+
+
+def check_fork_safety(origin: str) -> None:
+    """Pool-spawn boundary check (no-op unless a watcher is installed)."""
+    if _active is not None:
+        _active.check_fork_safety(origin)
+
+
+def install_from_env() -> LockWatch | None:
+    """Install iff ``NANOXBAR_LOCKCHECK`` is set; returns the watcher."""
+    if enabled_by_env():
+        return install()
+    return None

@@ -1,0 +1,38 @@
+"""Rendering for lint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .linting import LintReport, rule_catalog
+
+
+def render_human(report: LintReport, show_suppressed: bool = False) -> str:
+    """The terminal face: one line per finding plus a summary."""
+    lines = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(finding.render())
+    suppressed = len(report.findings) - len(report.unsuppressed)
+    summary = (f"{report.files_checked} files checked: "
+               f"{len(report.unsuppressed)} finding(s), "
+               f"{suppressed} suppressed")
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The ``--rules`` catalog table."""
+    rows = rule_catalog()
+    lines = [f"{'rule':6s} {'category':12s} description"]
+    for row in rows:
+        lines.append(f"{row['rule']:6s} {row['category']:12s} "
+                     f"{row['description']}")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Determinism rules (NX1xx): reproducibility is a contract here.
+
+Campaign results are content-addressed (``SeedSequence`` entropy derived
+from spec hashes) and kernels are pinned bit-exact against scalar
+references and the conformance golden — so global RNG state, wall-clock
+entropy, unstable sorts and set-order iteration are all bugs, not style.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .linting import Finding, ModuleContext, Rule, register
+from .scopes import in_packages, is_determinism_scope
+
+#: ``np.random.<fn>`` calls that touch the hidden module-level generator.
+_GLOBAL_NP_RNG = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "lognormal", "binomial", "poisson", "exponential", "beta",
+    "gamma", "standard_normal", "bytes", "get_state", "set_state",
+    "random_integers",
+})
+
+#: stdlib ``random`` module-level functions (the hidden global Random).
+_GLOBAL_STDLIB_RNG = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "getrandbits", "betavariate", "expovariate", "triangular",
+})
+
+#: wall-clock / machine entropy sources with no place in kernel results.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today", "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbelow",
+    "random.SystemRandom",
+})
+
+
+@register
+class GlobalNumpyRng(Rule):
+    rule_id = "NX101"
+    category = "determinism"
+    description = ("no module-level numpy RNG (np.random.seed/rand/...) in "
+                   "kernel or campaign code; draw from a seeded "
+                   "np.random.default_rng / SeedSequence stream instead")
+    node_types = (ast.Call,)
+    fires = (
+        "import numpy as np\nx = np.random.rand(4)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import numpy.random as npr\nv = npr.shuffle([1, 2])\n",
+    )
+    clean = (
+        "import numpy as np\ngen = np.random.default_rng(7)\n"
+        "x = gen.random(4)\n",
+        "import numpy as np\nss = np.random.SeedSequence(3)\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return is_determinism_scope(ctx.module)
+
+    def visit_node(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        name = ctx.qualified_name(node.func)
+        if name and name.startswith("numpy.random.") and \
+                name.rsplit(".", 1)[1] in _GLOBAL_NP_RNG:
+            yield self.finding(
+                ctx, node,
+                f"call to global numpy RNG '{name}': results must come "
+                "from a seeded np.random.default_rng(...) stream")
+
+
+@register
+class WallclockEntropy(Rule):
+    rule_id = "NX102"
+    category = "determinism"
+    description = ("no stdlib global-RNG or wall-clock entropy "
+                   "(random.random(), time.time(), uuid4, urandom) in "
+                   "kernel or campaign code; seeded random.Random(...) "
+                   "instances stay allowed")
+    node_types = (ast.Call,)
+    fires = (
+        "import random\nx = random.random()\n",
+        "import time\nstamp = time.time()\n",
+        "import os\nnonce = os.urandom(8)\n",
+    )
+    clean = (
+        "import random\nrng = random.Random(42)\nx = rng.random()\n",
+        "import time\nstart = time.perf_counter()\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return is_determinism_scope(ctx.module)
+
+    def visit_node(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        name = ctx.qualified_name(node.func)
+        if name is None:
+            return
+        if name in _WALLCLOCK_CALLS:
+            yield self.finding(
+                ctx, node,
+                f"'{name}()' injects wall-clock/machine entropy into a "
+                "determinism-scoped module")
+        elif name.startswith("random.") and \
+                name.rsplit(".", 1)[1] in _GLOBAL_STDLIB_RNG and \
+                name.count(".") == 1:
+            yield self.finding(
+                ctx, node,
+                f"call to stdlib global RNG '{name}': pass a seeded "
+                "random.Random(...) instance instead")
+
+
+@register
+class UnstableArgsort(Rule):
+    rule_id = "NX103"
+    category = "determinism"
+    description = ("argsort on tie-break paths must pass kind=\"stable\": "
+                   "the default introsort permutes equal keys "
+                   "platform-dependently (PR 4's selection bug)")
+    node_types = (ast.Call,)
+    fires = (
+        "import numpy as np\norder = np.argsort([3, 1, 2])\n",
+        "def pick(scores):\n    return scores.argsort()[:4]\n",
+        "import numpy as np\n"
+        "order = np.argsort([3, 1], kind='quicksort')\n",
+    )
+    clean = (
+        "import numpy as np\n"
+        "order = np.argsort([3, 1, 2], kind='stable')\n",
+        "def pick(scores):\n"
+        "    return scores.argsort(kind=\"stable\")[:4]\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return is_determinism_scope(ctx.module) or \
+            in_packages(ctx.module, ("repro.reliability", "repro.engine"))
+
+    def visit_node(self, node: ast.Call,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        func = node.func
+        is_argsort = (isinstance(func, ast.Attribute)
+                      and func.attr == "argsort") or \
+            (isinstance(func, ast.Name) and func.id == "argsort")
+        if not is_argsort:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "kind" and \
+                    isinstance(keyword.value, ast.Constant) and \
+                    keyword.value.value == "stable":
+                return
+        yield self.finding(
+            ctx, node,
+            "argsort without kind=\"stable\": equal keys permute "
+            "nondeterministically across numpy builds")
+
+
+def _is_set_expression(node: ast.AST, ctx: ModuleContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.qualified_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register
+class UnorderedIteration(Rule):
+    rule_id = "NX104"
+    category = "determinism"
+    description = ("no iterating a set (or materialising one with "
+                   "list/tuple/enumerate) where order can reach results; "
+                   "wrap in sorted(...) first")
+    #: consumers whose output order mirrors the set's arbitrary order.
+    _ORDER_SENSITIVE_CALLS = frozenset({
+        "list", "tuple", "enumerate", "iter", "reversed", "next",
+    })
+    node_types = (ast.For, ast.AsyncFor, ast.ListComp, ast.DictComp,
+                  ast.GeneratorExp, ast.Call)
+    fires = (
+        "for item in {3, 1, 2}:\n    print(item)\n",
+        "rows = [x + 1 for x in set(values)]\n",
+        "order = list({'b', 'a'})\n",
+        "pairs = enumerate(frozenset(items))\n",
+    )
+    clean = (
+        "for item in sorted({3, 1, 2}):\n    print(item)\n",
+        "rows = [x + 1 for x in sorted(set(values))]\n",
+        "total = sum({1, 2, 3})\n",
+        "unique = {x % 4 for x in values}\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return is_determinism_scope(ctx.module)
+
+    def visit_node(self, node: ast.AST,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        message = ("iteration over a set feeds ordering-sensitive "
+                   "results; use sorted(...) to fix the order")
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expression(node.iter, ctx):
+                yield self.finding(ctx, node.iter, message)
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter, ctx):
+                    yield self.finding(ctx, generator.iter, message)
+        elif isinstance(node, ast.Call):
+            name = ctx.qualified_name(node.func)
+            if name in self._ORDER_SENSITIVE_CALLS and node.args and \
+                    _is_set_expression(node.args[0], ctx):
+                yield self.finding(
+                    ctx, node,
+                    f"'{name}(...)' materialises a set's arbitrary "
+                    "order; use sorted(...) instead")

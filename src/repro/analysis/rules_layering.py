@@ -1,0 +1,151 @@
+"""Layering rules (NX3xx): the dependency arrows must keep pointing up.
+
+``repro.obs`` is write-only telemetry for everything below the server:
+kernels and campaigns may *emit* metrics/spans but results must never
+depend on reading them back (disable obs, get bit-identical answers).
+Kernel packages stay importable with no serving/observability stack at
+all, and nothing may reach up into the CLI layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .linting import Finding, ModuleContext, Rule, register
+from .scopes import is_kernel_module, may_consume_obs
+
+#: modules whose values must never steer non-obs control flow.
+_OBS_PREFIX = "repro.obs"
+
+#: top-of-stack modules nothing may import (the CLI owns process exit
+#: codes and argv; experiments orchestrate, they are not a library).
+_CLI_LAYER = ("repro.eval.cli", "repro.eval.experiments")
+
+
+def _obs_rooted_names(ctx: ModuleContext) -> set[str]:
+    """Local names bound to repro.obs modules or their members."""
+    names = set()
+    for local, target in ctx.module_aliases.items():
+        if target == _OBS_PREFIX or target.startswith(_OBS_PREFIX + "."):
+            names.add(local)
+    for local, target in ctx.imported_names.items():
+        if target.startswith(_OBS_PREFIX + "."):
+            names.add(local)
+    return names
+
+
+@register
+class ObsLoadBearing(Rule):
+    rule_id = "NX301"
+    category = "layering"
+    description = ("repro.obs is write-only below the server: no if/while/"
+                   "assert conditions on metric, span or logger values "
+                   "outside obs/server/eval (disabling obs must be "
+                   "behaviour-neutral)")
+    node_types = (ast.If, ast.While, ast.IfExp, ast.Assert)
+    selftest_module = "repro.engine.engine"
+    fires = (
+        "from ..obs import metrics\n"
+        "def run(jobs):\n"
+        "    if metrics.registry().snapshot()['counters']:\n"
+        "        return []\n",
+        "from ..obs import tracing\n"
+        "def busy():\n"
+        "    while tracing.recent_spans():\n"
+        "        pass\n",
+        "from ..obs.timeline import local_recorder\n"
+        "def mode():\n"
+        "    return 'hot' if local_recorder().latest() else 'cold'\n",
+    )
+    clean = (
+        "from ..obs import metrics\n"
+        "_RUNS = metrics.registry().counter('runs_total', 'runs')\n"
+        "def run(jobs):\n"
+        "    _RUNS.inc()\n"
+        "    return list(jobs)\n",
+        "from ..obs import tracing\n"
+        "def run(job):\n"
+        "    with tracing.span('engine.run'):\n"
+        "        return job\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not may_consume_obs(ctx.module)
+
+    def visit_node(self, node: ast.AST,
+                   ctx: ModuleContext) -> Iterator[Finding]:
+        obs_names = _obs_rooted_names(ctx)
+        if not obs_names:
+            return
+        test = node.test
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Name) and sub.id in obs_names:
+                yield self.finding(
+                    ctx, test,
+                    f"control flow conditioned on observability value "
+                    f"'{sub.id}': repro.obs must never be load-bearing "
+                    "(results must survive NANOXBAR_OBS=0)")
+                return
+
+
+@register
+class KernelImportsUpperLayer(Rule):
+    rule_id = "NX302"
+    category = "layering"
+    description = ("kernel packages (boolean/crossbar/xbareval/synthesis/"
+                   "sat/arch) must not import repro.server or repro.obs; "
+                   "compute stays runnable with no serving stack loaded")
+    selftest_module = "repro.xbareval.delay"
+    fires = (
+        "from ..obs import metrics\n",
+        "from ..server.client import ServerClient\n",
+        "import repro.obs.tracing as tracing\n",
+    )
+    clean = (
+        "import numpy as np\nfrom ..boolean.bitops import popcount_u64\n",
+        "from ..crossbar.lattice import Lattice\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return is_kernel_module(ctx.module)
+
+    def finish(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for origin, node in ctx.imported_modules:
+            for banned in ("repro.obs", "repro.server"):
+                if origin == banned or origin.startswith(banned + "."):
+                    yield self.finding(
+                        ctx, node,
+                        f"kernel module imports '{origin}': kernels must "
+                        "not depend on the observability/serving layers")
+
+
+@register
+class CliLayerImport(Rule):
+    rule_id = "NX303"
+    category = "layering"
+    description = ("nothing imports repro.eval.cli or "
+                   "repro.eval.experiments: the CLI/experiment layer is "
+                   "the top of the stack")
+    selftest_module = "repro.engine.engine"
+    fires = (
+        "from ..eval.cli import main\n",
+        "from repro.eval.experiments import get_experiment\n",
+    )
+    clean = (
+        "from ..eval.benchsuite import by_name\n",
+        "from ..eval.tables import format_table\n",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module is not None and \
+            not ctx.module.startswith("repro.eval")
+
+    def finish(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for origin, node in ctx.imported_modules:
+            for banned in _CLI_LAYER:
+                if origin == banned or origin.startswith(banned + "."):
+                    yield self.finding(
+                        ctx, node,
+                        f"import of top-of-stack module '{origin}' "
+                        "(CLI/experiment layer): invert the dependency")

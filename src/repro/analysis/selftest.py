@@ -1,0 +1,64 @@
+"""Rule self-test: every rule proves it fires and stays silent.
+
+Each rule carries embedded fixture snippets (``fires`` / ``clean``); this
+module lints them in isolation under the rule's declared
+``selftest_module`` scope and reports any rule whose behaviour drifted.
+Surfaced as ``nanoxbar lint --self-test`` and exercised again by the
+pytest suite — a lint engine that silently stopped firing is worse than
+no lint engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .linting import all_rules, lint_source
+
+
+@dataclass
+class SelfTestResult:
+    """Per-rule pass/fail plus human-readable failure detail."""
+
+    failures: list[str] = field(default_factory=list)
+    rules_checked: int = 0
+    snippets_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        lines = [f"lint self-test {status}: {self.rules_checked} rules, "
+                 f"{self.snippets_checked} snippets"]
+        lines.extend(f"  {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def run_selftest() -> SelfTestResult:
+    result = SelfTestResult()
+    for rule in all_rules():
+        result.rules_checked += 1
+        if not rule.fires:
+            result.failures.append(
+                f"{rule.rule_id}: no 'fires' fixture snippets declared")
+        for kind, snippets in (("fires", rule.fires), ("clean", rule.clean)):
+            for index, snippet in enumerate(snippets):
+                result.snippets_checked += 1
+                findings = [
+                    f for f in lint_source(
+                        snippet,
+                        path=f"<{rule.rule_id}:{kind}[{index}]>",
+                        module=rule.selftest_module,
+                        rules=[type(rule)()])
+                    if f.rule_id == rule.rule_id
+                ]
+                if kind == "fires" and not findings:
+                    result.failures.append(
+                        f"{rule.rule_id} fires[{index}]: expected a "
+                        f"finding, got none — snippet:\n{snippet}")
+                elif kind == "clean" and findings:
+                    result.failures.append(
+                        f"{rule.rule_id} clean[{index}]: unexpected "
+                        f"finding {findings[0].message!r}")
+    return result

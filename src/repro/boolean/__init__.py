@@ -43,6 +43,14 @@ from .expr import (
     parse_expression,
 )
 from .function import BooleanFunction
+from .minimize import (
+    exact_minimize,
+    heuristic_minimize,
+    isop,
+    minimize,
+    prime_implicants,
+    verify_cover,
+)
 from .npn import (
     NpnTransform,
     apply_transform,
@@ -51,14 +59,6 @@ from .npn import (
     npn_classes,
     npn_equivalent,
     npn_semicanonical,
-)
-from .minimize import (
-    exact_minimize,
-    heuristic_minimize,
-    isop,
-    minimize,
-    prime_implicants,
-    verify_cover,
 )
 from .pla import Pla, PlaError, cover_to_pla, parse_pla, write_pla
 from .truthtable import TruthTable

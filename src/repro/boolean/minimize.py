@@ -122,7 +122,7 @@ def _reduce_problem(problem: _CoverProblem) -> bool:
         # Column dominance: drop a column covering a subset of another's
         # remaining rows at equal or higher cost.
         cols = [c for c in problem.col_rows if problem.col_rows[c]]
-        for i, c1 in enumerate(cols):
+        for c1 in cols:
             rows1 = problem.col_rows[c1]
             if not rows1:
                 continue

@@ -42,7 +42,8 @@ class TruthTable:
 
     __slots__ = ("n", "_values")
 
-    def __init__(self, n: int, values: np.ndarray | Sequence[bool] | Sequence[int]):
+    def __init__(self, n: int,
+                 values: np.ndarray | Sequence[bool] | Sequence[int]) -> None:
         _check_n(n)
         arr = np.asarray(values, dtype=bool)
         if arr.shape != (1 << n,):

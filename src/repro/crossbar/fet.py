@@ -169,9 +169,9 @@ class FetCrossbar:
         lines = [" " * label_width + "  " + " ".join(headers)]
         for i, gate in enumerate(self.gate_rows):
             marks = []
-            for j, rows in enumerate(self.pullup):
+            for rows in self.pullup:
                 marks.append("P" if i in rows else ".")
-            for j, rows in enumerate(self.pulldown):
+            for rows in self.pulldown:
                 marks.append("N" if i in rows else ".")
             # Label rows by the literal whose value the gate line carries.
             label = gate.name(names)

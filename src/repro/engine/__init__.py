@@ -45,7 +45,6 @@ from .jobs import (
     SynthesisJob,
 )
 from .pool import batch_sizes, chunk_size, default_processes, map_sharded
-from .store import JsonStore
 from .portfolio import (
     PortfolioConfig,
     PortfolioResult,
@@ -54,6 +53,8 @@ from .portfolio import (
     run_portfolio,
     run_portfolio_raced,
 )
+
+from .store import JsonStore
 
 __all__ = [
     "BatchEngine",

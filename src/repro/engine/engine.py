@@ -391,7 +391,7 @@ class BatchEngine:
     ) -> tuple[list[JobResult], dict[str, CachedResult]]:
         results: list[JobResult] = []
         healed: dict[str, CachedResult] = {}
-        for index, (job, (canon, transform), cached) in enumerate(
+        for index, (job, (_canon, transform), cached) in enumerate(
                 zip(jobs, keys, probed)):
             job_start = time.perf_counter()
             hit = cached is not None

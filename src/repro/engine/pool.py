@@ -88,6 +88,13 @@ def _pool_context():
             return ctx
         return multiprocessing.get_context("spawn")
     if "fork" in methods:
+        # Under NANOXBAR_LOCKCHECK the sanitizer audits this boundary:
+        # a watched lock held by any *other* thread right now would be
+        # copied locked into every forked worker.  (active_count() said
+        # we are single-threaded, but non-threading threads and races
+        # are exactly what the sanitizer exists to catch.)
+        from ..analysis import lockwatch
+        lockwatch.check_fork_safety("engine.pool fork start method")
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
 

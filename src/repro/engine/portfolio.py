@@ -182,7 +182,7 @@ def run_portfolio(table: TruthTable,
                 name, "skipped", elapsed=time.perf_counter() - start,
                 detail=str(gate)))
             continue
-        except Exception as error:  # noqa: BLE001 - a failed flow loses the race
+        except Exception as error:  # a failed flow loses the race
             outcomes.append(StrategyOutcome(
                 name, "failed", elapsed=time.perf_counter() - start,
                 detail=f"{type(error).__name__}: {error}"))
@@ -237,7 +237,7 @@ def _raced_worker(name: str, n: int, bits: int, config: PortfolioConfig,
         queue.put((name, "skipped", None, time.perf_counter() - start,
                    str(gate)))
         return
-    except Exception as error:  # noqa: BLE001 - a failed flow loses the race
+    except Exception as error:  # a failed flow loses the race
         queue.put((name, "failed", None, time.perf_counter() - start,
                    f"{type(error).__name__}: {error}"))
         return
@@ -390,7 +390,7 @@ def run_portfolio_raced(table: TruthTable,
                 name, "skipped", elapsed=time.perf_counter() - start,
                 detail=str(gate)))
             continue
-        except Exception as error:  # noqa: BLE001
+        except Exception as error:  # a failed strategy loses the race
             outcomes.append(StrategyOutcome(
                 name, "failed", elapsed=time.perf_counter() - start,
                 detail=f"{type(error).__name__}: {error}"))

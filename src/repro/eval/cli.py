@@ -14,6 +14,9 @@
     nanoxbar batch --profile      # span-tree timing breakdown
     nanoxbar batch --sample-profile  # sampling wall-clock profile
     nanoxbar --log-json ...       # structured JSON logs on stderr
+    nanoxbar lint src/            # repo invariant lint (determinism,
+                                  # concurrency, layering rules)
+    nanoxbar lint --self-test     # every rule against its own fixtures
 """
 
 from __future__ import annotations
@@ -375,6 +378,36 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from ..analysis import (
+        lint_paths,
+        render_human,
+        render_json,
+        render_rules,
+        run_selftest,
+    )
+
+    if args.rules:
+        print(render_rules())
+        return 0
+    if args.self_test:
+        result = run_selftest()
+        print(result.render())
+        return 0 if result.ok else 1
+    paths = args.paths or ["src"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(paths)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report, show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from http.client import HTTPException
 
@@ -719,6 +752,25 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--batch-size", type=int, default=50,
                         help="[campaigns] trials per sharded batch")
     submit.set_defaults(fn=_cmd_submit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the repo's determinism / concurrency / layering "
+             "invariants with the AST lint engine (repro.analysis)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", default="human",
+                      choices=["human", "json"],
+                      help="output format")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print findings silenced by "
+                           "'# nanoxbar: allow[...]' pragmas")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--self-test", action="store_true",
+                      help="lint every rule's embedded fire/no-fire "
+                           "fixtures and exit non-zero on drift")
+    lint.set_defaults(fn=_cmd_lint)
 
     stats = sub.add_parser(
         "stats",

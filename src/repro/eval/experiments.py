@@ -78,7 +78,8 @@ def get_experiment(experiment_id: str) -> Experiment:
         return _REGISTRY[experiment_id]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}") from None
 
 
 # ----------------------------------------------------------------------

@@ -36,6 +36,11 @@ Quickstart::
 The same sweep is available from the shell as ``nanoxbar faultsim``.
 """
 
+from ..xbareval.placement import (
+    SITE_CONST0,
+    SITE_CONST1,
+    SITE_LITERAL,
+)
 from .campaign import (
     MAX_EXACT_N,
     MODELS,
@@ -46,11 +51,6 @@ from .campaign import (
     PointEstimate,
     iter_campaign,
     run_campaign,
-)
-from ..xbareval.placement import (
-    SITE_CONST0,
-    SITE_CONST1,
-    SITE_LITERAL,
 )
 from .kernels import (
     clean_feasibility_batch,

@@ -315,7 +315,7 @@ class MetricsRecorder:
 
         ``limit`` keeps only the newest N of the selection.  Cursors are
         dense on the fine ring, so a reader that polls ``since=<last
-        cursor seen>`` faster than ``capacity × interval`` observes every
+        cursor seen>`` faster than ``capacity * interval`` observes every
         frame exactly once.
         """
         if resolution not in ("fine", "coarse"):

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .bist import _base_vectors
 from .faults import (
     CrossbarFabric,
     CrosspointStuckClosed,
@@ -37,7 +38,6 @@ from .faults import (
     Fault,
     TestConfiguration,
 )
-from .bist import _base_vectors
 
 
 def _codeword_bits(rows: int, cols: int) -> int:

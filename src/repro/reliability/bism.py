@@ -34,9 +34,9 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from .bist import application_bist_passes
 from .defects import DefectMap
 from .faults import CrossbarFabric
-from .bist import application_bist_passes
 
 Program = tuple[tuple[bool, ...], ...]
 

@@ -174,7 +174,7 @@ def tmr_reliability(replica: Lattice, table: TruthTable,
             assignment = rng.choice(assignments)
             golden = table.evaluate(assignment)
 
-            def flip(nominal: bool) -> bool:
+            def flip(nominal: bool, rate: float = rate) -> bool:
                 if rng.random() < rate:
                     return not nominal
                 return nominal

@@ -30,8 +30,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..crossbar.lattice import Lattice
 from ..boolean.truthtable import TruthTable
+from ..crossbar.lattice import Lattice
 
 
 @dataclass(frozen=True)

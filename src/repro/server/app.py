@@ -220,7 +220,7 @@ class BatchServer:
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
-        except Exception as error:  # noqa: BLE001 - last-resort 500
+        except Exception as error:  # last-resort 500
             try:
                 await self._respond(writer, 500,
                                     {"error": f"internal error: {error}"})
@@ -256,7 +256,8 @@ class BatchServer:
         try:
             length = int(declared)
         except ValueError:
-            raise _BadRequest(f"unparseable Content-Length {declared!r}")
+            raise _BadRequest(
+                f"unparseable Content-Length {declared!r}") from None
         if length < 0:
             raise _BadRequest(f"negative Content-Length {declared!r}")
         if length > MAX_BODY_BYTES:
@@ -420,7 +421,8 @@ class BatchServer:
         try:
             value = float(query.get(key, default))
         except (TypeError, ValueError):
-            raise _BadRequest(f"unparseable {key}={query.get(key)!r}")
+            raise _BadRequest(
+                f"unparseable {key}={query.get(key)!r}") from None
         return min(hi, max(lo, value))
 
     async def _history(self, writer, query: dict) -> None:

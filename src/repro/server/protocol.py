@@ -98,14 +98,14 @@ def _synthesis_job_from_json(entry: Any) -> SynthesisJob:
         try:
             fault_tolerance = FaultToleranceSpec(**ft)
         except (TypeError, ValueError) as error:
-            raise ProtocolError(f"bad fault_tolerance spec: {error}")
+            raise ProtocolError(f"bad fault_tolerance spec: {error}") from error
     if "bench" in entry:
         from ..eval.benchsuite import by_name
 
         try:
             benchmark = by_name(str(entry["bench"]))
         except KeyError as error:
-            raise ProtocolError(str(error.args[0]))
+            raise ProtocolError(str(error.args[0])) from error
         return SynthesisJob.from_function(
             benchmark.function, benchmark.name, strategies, fault_tolerance)
     try:
@@ -117,7 +117,7 @@ def _synthesis_job_from_json(entry: Any) -> SynthesisJob:
             fault_tolerance=fault_tolerance,
         )
     except (TypeError, ValueError) as error:
-        raise ProtocolError(f"bad synthesis job: {error}")
+        raise ProtocolError(f"bad synthesis job: {error}") from error
 
 
 def _parse_synthesis(payload: dict) -> Submission:
@@ -164,7 +164,7 @@ def _parse_faultsim(payload: dict) -> Submission:
     try:
         spec = CampaignSpec(**kwargs)
     except (TypeError, ValueError) as error:
-        raise ProtocolError(f"bad faultsim spec: {error}")
+        raise ProtocolError(f"bad faultsim spec: {error}") from error
     points = spec.points()
     parts = [point.key() for point in points]
     parts.append(f"k={','.join(str(k) for k in spec.k_values)}")
@@ -196,7 +196,7 @@ def _parse_varsweep(payload: dict) -> Submission:
         try:
             benchmark = by_name(str(payload["bench"]))
         except KeyError as error:
-            raise ProtocolError(str(error.args[0]))
+            raise ProtocolError(str(error.args[0])) from error
         lattice = synthesize_lattice_dual(benchmark.function.on)
         bench_name = benchmark.name
     else:
@@ -206,7 +206,7 @@ def _parse_varsweep(payload: dict) -> Submission:
     try:
         spec = VariationCampaignSpec(lattice=lattice, **kwargs)
     except (TypeError, ValueError) as error:
-        raise ProtocolError(f"bad varsweep spec: {error}")
+        raise ProtocolError(f"bad varsweep spec: {error}") from error
     points = spec.points()
     echo = {"kind": "varsweep", "bench": bench_name,
             "sigmas": list(spec.sigmas),

@@ -119,7 +119,7 @@ class WorkerBridge:
                     else:  # pragma: no cover - parse_submission gates kinds
                         raise ValueError(
                             f"unknown kind {submission.kind!r}")
-                except Exception as error:  # noqa: BLE001 - sent to client
+                except Exception as error:  # anything the job raised is sent to the client
                     emit("failed", f"{type(error).__name__}: {error}")
                 else:
                     emit("done", None)

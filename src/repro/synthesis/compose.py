@@ -5,7 +5,7 @@ Given lattices computing ``f`` and ``g``:
 * their **disjunction** ``f + g`` is computed by placing the lattices side
   by side separated by a *padding column of 0s* (the OFF column prevents
   lateral current between the operands);
-* their **conjunction** ``f · g`` is computed by stacking them separated by
+* their **conjunction** ``f * g`` is computed by stacking them separated by
   a *padding row of 1s* (the ON row lets current re-align on any column
   while still forcing it through both operands).
 

@@ -1,6 +1,6 @@
 """D-reducible preprocessing for lattice synthesis (Section III-B.2, [4],[6]).
 
-A D-reducible function satisfies ``f = chi_A · f_A`` where ``A`` is the
+A D-reducible function satisfies ``f = chi_A * f_A`` where ``A`` is the
 affine hull of the on-set, ``chi_A`` its characteristic function and
 ``f_A`` the projection of ``f`` onto ``A``.  The flow synthesises the two
 factors as independent lattices and recomposes them with the AND padding

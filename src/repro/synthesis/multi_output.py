@@ -91,7 +91,7 @@ def multi_output_minimize(tables: Sequence[TruthTable]
         pruned = False
         for i in range(len(chosen)):
             others: set[tuple[int, int]] = set()
-            for j, (cube, tags) in enumerate(chosen):
+            for j, (cube, _tags) in enumerate(chosen):
                 if j != i:
                     others |= pair_cover[cube] & universe
             if (pair_cover[chosen[i][0]] & universe) <= others:

@@ -71,7 +71,7 @@ def numba_kernels():
         try:
             from . import _numba_kernels
             _numba_module = _numba_kernels
-        except Exception as error:  # noqa: BLE001 - any import/ABI failure
+        except Exception as error:  # any import/ABI failure degrades
             _numba_module = False
             if not _warned_unavailable:
                 _warned_unavailable = True
@@ -99,10 +99,8 @@ def reset_backend_cache() -> None:
 
 
 def _log_event(message: str, **fields) -> None:
-    """Structured one-liner through repro.obs (imported lazily: the
-    evaluation core must stay importable before obs is configured)."""
-    try:
-        from ..obs import get_logger, log_event
-        log_event(get_logger("xbareval.backend"), message, **fields)
-    except Exception:  # pragma: no cover - logging must never break kernels
-        pass
+    """Structured one-liner through the kernel event seam: the sink is
+    injected by the composition root, so this module never imports the
+    observability stack (lint rule NX302)."""
+    from .events import emit
+    emit("xbareval.backend", message, **fields)

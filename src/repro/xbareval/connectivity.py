@@ -43,6 +43,7 @@ import numpy as np
 
 from ..boolean.bitops import popcount_u64, popcount_u64_multiword
 from . import backend as _backend
+from . import events as _events
 
 try:  # optional accelerator: one C-level label pass for a whole batch
     from scipy import ndimage as _ndimage
@@ -72,13 +73,11 @@ def _degrade_label_pass(error: Exception) -> None:
     if not _label_healthy:  # pragma: no cover - second failure races only
         return
     _label_healthy = False
-    try:
-        from ..obs import get_logger, log_event
-        log_event(get_logger("xbareval.connectivity"),
-                  "scipy label pass failed, degrading to numpy kernels",
-                  error=f"{type(error).__name__}: {error}")
-    except Exception:  # pragma: no cover - logging must never break eval
-        pass
+    # Through the kernel event seam (repro.xbareval.events): the sink is
+    # injected by the composition root, keeping this module obs-free.
+    _events.emit("xbareval.connectivity",
+                 "scipy label pass failed, degrading to numpy kernels",
+                 error=f"{type(error).__name__}: {error}")
 
 
 def _label_pass_available() -> bool:

@@ -1,0 +1,37 @@
+"""Suite-wide wiring for the runtime lock sanitizer.
+
+Running the tier-1 suite with ``NANOXBAR_LOCKCHECK=1`` installs
+:mod:`repro.analysis.lockwatch` before any test creates a lock: every
+``threading.Lock``/``RLock`` made during the run is instrumented, and at
+session end any recorded violations (lock-order inversions, locks held
+across a fork boundary) fail the run even though every individual test
+passed.  Without the flag this file does nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lockwatch
+
+_watch = lockwatch.install_from_env()
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if _watch is None:
+        return
+    violations = _watch.violations()
+    if violations and session.exitstatus == 0:
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus: int, config) -> None:
+    if _watch is None:
+        return
+    violations = _watch.violations()
+    if violations:
+        terminalreporter.section("lockwatch violations")
+        terminalreporter.write_line(_watch.render_report())
+    else:
+        terminalreporter.write_line(
+            "lockwatch: no lock-order or fork-safety violations")

@@ -1,0 +1,196 @@
+"""The invariant lint engine: rules, suppressions, reports (``nanoxbar lint``).
+
+Each rule carries its own fire / no-fire fixture snippets; the first test
+here replays exactly what ``nanoxbar lint --self-test`` runs, and the
+parametrized tests re-assert every snippet individually so a regression
+names the precise rule and snippet that broke.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    rule_catalog,
+    run_selftest,
+)
+from repro.analysis.linting import (
+    PRAGMA_RULE_ID,
+    LintReport,
+    module_name_for_path,
+    parse_suppressions,
+)
+
+RULES = all_rules()
+RULE_IDS = [rule.rule_id for rule in RULES]
+
+
+def _one_rule(rule_id):
+    (rule,) = [r for r in all_rules() if r.rule_id == rule_id]
+    return rule
+
+
+def _lint_with(rule_id: str, source: str) -> list:
+    rule = _one_rule(rule_id)
+    findings = lint_source(source, module=rule.selftest_module,
+                           rules=[rule])
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------- catalog
+
+def test_selftest_passes():
+    result = run_selftest()
+    assert result.ok, result.render()
+
+
+def test_catalog_covers_all_three_categories():
+    categories = {entry["category"] for entry in rule_catalog()}
+    assert categories == {"determinism", "concurrency", "layering"}
+
+
+def test_rule_ids_are_unique_and_namespaced():
+    assert len(set(RULE_IDS)) == len(RULE_IDS)
+    assert all(rid.startswith("NX") for rid in RULE_IDS)
+    assert PRAGMA_RULE_ID not in RULE_IDS  # reserved, not a walkable rule
+
+
+# ------------------------------------------------- per-rule fire / no-fire
+
+@pytest.mark.parametrize("rule_id,snippet", [
+    (rule.rule_id, snippet) for rule in RULES for snippet in rule.fires
+])
+def test_rule_fires(rule_id, snippet):
+    assert _lint_with(rule_id, snippet), (
+        f"{rule_id} should fire on:\n{snippet}")
+
+
+@pytest.mark.parametrize("rule_id,snippet", [
+    (rule.rule_id, snippet) for rule in RULES for snippet in rule.clean
+])
+def test_rule_stays_quiet(rule_id, snippet):
+    findings = _lint_with(rule_id, snippet)
+    assert not findings, (
+        f"{rule_id} false positive on:\n{snippet}\n"
+        + "\n".join(f.render() for f in findings))
+
+
+def test_rules_scope_limited_outside_their_modules():
+    # Module-level RNG is a determinism-scope rule: the same source that
+    # fires inside a campaign kernel is legal in, say, repro.obs.
+    source = "import numpy as np\nnp.random.seed(0)\n"
+    assert _lint_with("NX101", source)
+    rule = _one_rule("NX101")
+    findings = lint_source(source, module="repro.obs.metrics",
+                           rules=[rule])
+    assert not [f for f in findings if f.rule_id == "NX101"]
+
+
+# ------------------------------------------------------------ suppressions
+
+_VIOLATION = "import numpy as np\nnp.random.seed(0)"
+
+
+def test_pragma_suppresses_on_the_same_line():
+    source = ("import numpy as np\n"
+              "np.random.seed(0)  # nanoxbar: allow[NX101] -- golden-file "
+              "regeneration script\n")
+    findings = lint_source(source, module="repro.faultlab.kernels")
+    nx101 = [f for f in findings if f.rule_id == "NX101"]
+    assert len(nx101) == 1
+    assert nx101[0].suppressed
+    assert "golden-file" in nx101[0].reason
+    report = LintReport(findings=findings, files_checked=1)
+    assert report.exit_code == 0
+
+
+def test_pragma_only_covers_its_own_line():
+    source = ("import numpy as np  # nanoxbar: allow[NX101] -- wrong line\n"
+              "np.random.seed(0)\n")
+    findings = lint_source(source, module="repro.faultlab.kernels")
+    assert any(f.rule_id == "NX101" and not f.suppressed for f in findings)
+    # ... and the pragma itself is flagged as unused.
+    assert any(f.rule_id == PRAGMA_RULE_ID for f in findings)
+
+
+def test_pragma_without_reason_is_rejected():
+    source = _VIOLATION + "  # nanoxbar: allow[NX101]\n"
+    findings = lint_source(source, module="repro.faultlab.kernels")
+    assert any(f.rule_id == PRAGMA_RULE_ID and "reason" in f.message
+               for f in findings)
+    # The violation itself stays unsuppressed.
+    assert any(f.rule_id == "NX101" and not f.suppressed for f in findings)
+
+
+def test_pragma_with_unknown_rule_id_is_rejected():
+    source = _VIOLATION + "  # nanoxbar: allow[NX999] -- no such rule\n"
+    findings = lint_source(source, module="repro.faultlab.kernels")
+    assert any(f.rule_id == PRAGMA_RULE_ID and "NX999" in f.message
+               for f in findings)
+
+
+def test_unused_pragma_is_flagged():
+    source = "x = 1  # nanoxbar: allow[NX101] -- nothing here\n"
+    findings = lint_source(source, module="repro.faultlab.kernels")
+    assert any(f.rule_id == PRAGMA_RULE_ID and "unused" in f.message
+               for f in findings)
+
+
+def test_pragma_rule_itself_cannot_be_suppressed():
+    source = f"x = 1  # nanoxbar: allow[{PRAGMA_RULE_ID}] -- nice try\n"
+    findings = lint_source(source, module=None)
+    assert any(f.rule_id == PRAGMA_RULE_ID and "cannot be suppressed"
+               in f.message for f in findings)
+
+
+def test_pragma_mentioned_in_a_docstring_is_not_a_pragma():
+    source = ('"""Docs: write `# nanoxbar: allow[broken syntax` here."""\n'
+              "x = 1\n")
+    findings = lint_source(source, module=None)
+    assert not findings
+
+
+def test_multi_id_pragma_and_parse_suppressions_roundtrip():
+    known = set(RULE_IDS)
+    source = "x = 1  # nanoxbar: allow[NX101, NX104] -- both rules\n"
+    sups, problems = parse_suppressions(source, known)
+    assert not problems
+    assert len(sups) == 1
+    assert sups[0].rule_ids == ("NX101", "NX104")
+    assert sups[0].reason == "both rules"
+
+
+# --------------------------------------------------------------- reporting
+
+def test_syntax_error_becomes_a_finding_not_a_crash():
+    findings = lint_source("def broken(:\n", path="bad.py")
+    assert findings and findings[0].rule_id == PRAGMA_RULE_ID
+    assert "cannot parse" in findings[0].message
+
+
+def test_module_name_for_path():
+    assert (module_name_for_path("src/repro/engine/pool.py")
+            == "repro.engine.pool")
+    assert (module_name_for_path("src/repro/analysis/__init__.py")
+            == "repro.analysis")
+    assert module_name_for_path("benchmarks/bench_yield.py") is None
+
+
+def test_lint_paths_json_report_shape(tmp_path):
+    target = tmp_path / "kernels.py"
+    target.write_text("import numpy as np\nnp.random.seed(7)\n")
+    report = lint_paths([str(tmp_path)])
+    # Out-of-tree files still get determinism rules (out-of-tree policy).
+    assert report.files_checked == 1
+    payload = json.loads(render_json(report))
+    assert payload["version"] == 1
+    assert payload["counts"]["findings"] == len(payload["findings"])
+    for entry in payload["findings"]:
+        assert {"rule", "path", "line", "col", "message",
+                "suppressed"} <= set(entry)

@@ -1,7 +1,7 @@
 """Tests for GF(2) linear algebra and D-reducible decomposition."""
 
-from hypothesis import given, settings, strategies as st
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.boolean import (
     TruthTable,

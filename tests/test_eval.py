@@ -1,5 +1,7 @@
 """Tests for the benchmark suite, table rendering, experiments and CLI."""
 
+from typing import ClassVar
+
 import pytest
 
 from repro.eval import (
@@ -65,7 +67,7 @@ class TestBenchsuite:
 
 
 class TestTables:
-    ROWS = [
+    ROWS: ClassVar[list[dict]] = [
         {"name": "a", "value": 1.23456, "shape": (2, 3), "ok": True},
         {"name": "bb", "value": 2.0, "shape": (10, 1), "ok": False},
     ]

@@ -7,6 +7,7 @@ experiment registry.
 """
 
 import random
+from typing import ClassVar
 
 import pytest
 
@@ -127,7 +128,7 @@ class TestLatticePipelines:
 
 
 class TestExperimentRegistrySmoke:
-    CHEAP = ["fig1", "fig3", "fig4", "optimal", "bist", "bisd", "bism",
+    CHEAP: ClassVar[list[str]] = ["fig1", "fig3", "fig4", "optimal", "bist", "bisd", "bism",
              "fig6", "recovery", "variation", "yield", "arch", "tmr"]
 
     def test_registry_lists_every_paper_artefact(self):

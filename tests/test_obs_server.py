@@ -236,7 +236,7 @@ class TestSSEStream:
                     results[name].append(frame["cursor"])
                     if len(results[name]) >= 4:
                         return
-            except BaseException as error:  # noqa: BLE001 - re-raised
+            except BaseException as error:  # re-raised below
                 errors.append(error)
 
         threads = [threading.Thread(target=read, args=(name,))

@@ -63,7 +63,7 @@ class TestDefectMap:
         rng = random.Random(seed)
         m = random_defect_map(20, 20, density, rng)
         assert abs(m.density - density) < 0.2
-        for (r, c), state in m.defects.items():
+        for state in m.defects.values():
             assert state is not CrosspointState.OK
 
     def test_clustered_map_expected_count(self):
