@@ -10,7 +10,8 @@ them into a batch service:
 * :mod:`repro.engine.pool`      — sharded multiprocessing map with serial
   fallback
 * :mod:`repro.engine.store`     — generic persisted JSON store for other
-  job families (e.g. :mod:`repro.faultlab` campaigns)
+  job families (e.g. :mod:`repro.faultlab` campaigns) plus the claimable
+  experiment-grid rows :mod:`repro.grid` orchestrates
 * :mod:`repro.engine.engine`    — the ``BatchEngine`` facade
 
 Quickstart::
@@ -54,7 +55,7 @@ from .portfolio import (
     run_portfolio_raced,
 )
 
-from .store import JsonStore
+from .store import GridRow, JsonStore
 
 __all__ = [
     "BatchEngine",
@@ -63,6 +64,7 @@ __all__ = [
     "EngineStats",
     "FaultToleranceReport",
     "FaultToleranceSpec",
+    "GridRow",
     "JobResult",
     "JsonStore",
     "PortfolioConfig",

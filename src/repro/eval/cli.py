@@ -273,6 +273,91 @@ def _cmd_varsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from ..engine.store import JsonStore
+    from ..grid import (
+        GridConfigError,
+        GridPointError,
+        export_rows,
+        grid_status,
+        load_config,
+        plan,
+        release_claims,
+        run_workers,
+        work_loop,
+    )
+
+    try:
+        config = load_config(args.config)
+    except (GridConfigError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store_path = args.store or config.store or ".nanoxbar-campaigns.sqlite"
+
+    def emit(payload: dict) -> None:
+        if args.json:
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            counts = payload.get("counts")
+            line = f"grid {payload['grid_id']}: {payload['points']} points"
+            if counts is not None:
+                line += " — " + ", ".join(
+                    f"{count} {status}"
+                    for status, count in sorted(counts.items()))
+            print(line)
+
+    try:
+        with JsonStore(store_path) as store:
+            grid_id, _, added = plan(config, store)
+            if args.grid_command == "plan":
+                status = grid_status(store, grid_id)
+                status["added"] = added
+                emit(status)
+                return 0
+            if args.grid_command == "status":
+                emit(grid_status(store, grid_id))
+                return 0
+            if args.grid_command == "export":
+                rows = export_rows(store, grid_id)
+                text = json.dumps({"grid_id": grid_id, "rows": rows},
+                                  sort_keys=True, indent=2)
+                if args.output:
+                    with open(args.output, "w", encoding="utf-8") as handle:
+                        handle.write(text + "\n")
+                else:
+                    print(text)
+                return 0
+            if args.grid_command == "resume":
+                released = release_claims(store, grid_id)
+                if not args.json:
+                    print(f"released {released} stale claims")
+            workers = args.workers if args.workers else config.workers
+            if workers <= 1:
+                work_loop(config, grid_id, store, "w0")
+                failures = 0
+            else:
+                failures = None  # fan out below, outside this connection
+        if failures is None:
+            failures = run_workers(config, args.config, grid_id,
+                                   store_path, workers=workers)
+        with JsonStore(store_path) as store:
+            status = grid_status(store, grid_id)
+        emit(status)
+        if failures:
+            print(f"error: {failures} workers exited non-zero",
+                  file=sys.stderr)
+            return 1
+        return 0 if status["finished"] and not \
+            status["counts"].get("failed") else 1
+    except (GridConfigError, GridPointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except sqlite3.DatabaseError as error:
+        print(f"error: cannot use grid store {store_path!r}: {error}",
+              file=sys.stderr)
+        return 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -684,6 +769,35 @@ def build_parser() -> argparse.ArgumentParser:
                                "stacks and print a top-N self-time table "
                                "afterwards")
     varsweep.set_defaults(fn=_cmd_varsweep)
+
+    grid = sub.add_parser(
+        "grid",
+        help="declarative experiment grids: plan claimable rows in a "
+             "shared store and drain them with N workers")
+    grid_sub = grid.add_subparsers(dest="grid_command", required=True)
+    for name, help_text in (
+            ("plan", "materialise the config's rows (idempotent)"),
+            ("run", "plan, then drain the grid with worker processes"),
+            ("status", "report row counts for the config's grid"),
+            ("resume", "release stale claims, then drain what remains"),
+            ("export", "dump every row (params, status, result) as JSON")):
+        grid_cmd = grid_sub.add_parser(name, help=help_text)
+        grid_cmd.add_argument("config",
+                              help="grid config file (TOML or JSON)")
+        grid_cmd.add_argument("--store", default=None,
+                              help="shared store path (default: the "
+                                   "config's, else "
+                                   ".nanoxbar-campaigns.sqlite)")
+        grid_cmd.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+        if name in ("run", "resume"):
+            grid_cmd.add_argument("--workers", type=int, default=0,
+                                  help="worker processes (default: the "
+                                       "config's; 1 = in-process)")
+        if name == "export":
+            grid_cmd.add_argument("-o", "--output", default=None,
+                                  help="write JSON here instead of stdout")
+        grid_cmd.set_defaults(fn=_cmd_grid)
 
     serve = sub.add_parser(
         "serve",

@@ -317,6 +317,65 @@ def _valid_payload(payload, point: CampaignPoint) -> bool:
             and sum(histogram) == point.trials)
 
 
+def point_from_params(params: dict) -> CampaignPoint:
+    """Build one validated :class:`CampaignPoint` from a flat mapping.
+
+    The grid front-end (:mod:`repro.grid`) speaks in per-point parameter
+    dicts; this routes them through a single-point :class:`CampaignSpec`
+    so every spec invariant (model/strategy names, the ``exact`` size
+    ceiling, ranges) is enforced identically to ``run_campaign``.
+    """
+    spec = CampaignSpec(
+        n_values=(int(params["n"]),),
+        k_values=(0,),
+        densities=(float(params["density"]),),
+        models=(str(params.get("model", "bernoulli")),),
+        strategies=(str(params.get("strategy", "greedy")),),
+        trials=int(params.get("trials", 1000)),
+        seed=int(params.get("seed", 0)),
+        stuck_open_fraction=float(params.get("stuck_open_fraction", 0.8)),
+        batch_size=int(params.get("batch_size", 256)),
+    )
+    return spec.points()[0]
+
+
+def payload_for(estimate: PointEstimate) -> dict:
+    """The store payload for one estimate (shared by campaigns and grid).
+
+    Grid rows persist exactly this shape under ``point.key()``, so a grid
+    sweep and ``run_campaign`` dedup against each other's results.
+    """
+    return {
+        "k_histogram": list(estimate.k_histogram),
+        "trials": estimate.point.trials,
+    }
+
+
+def estimate_from_payload(point: CampaignPoint, payload,
+                          cache_hit: bool = True) -> PointEstimate | None:
+    """Rehydrate a persisted payload, or ``None`` if it fails validation."""
+    if not _valid_payload(payload, point):
+        return None
+    return PointEstimate(point, tuple(payload["k_histogram"]),
+                         cache_hit=cache_hit)
+
+
+def compute_point(point: CampaignPoint, processes: int = 1) -> PointEstimate:
+    """Sample one grid point from scratch (no store probe, no persist).
+
+    Batch seeds come from :meth:`CampaignPoint.entropy` alone, so the
+    result is bit-identical wherever and however often it runs — the
+    property the grid claim protocol leans on when a lease expires and a
+    second worker recomputes a point.
+    """
+    tasks = _point_tasks(point)
+    accumulator = np.zeros(point.n + 1, dtype=np.int64)
+    for histogram in iter_sharded(_point_batch_task, tasks, processes):
+        accumulator += np.array(histogram, dtype=np.int64)
+    return PointEstimate(point, tuple(int(x) for x in accumulator),
+                         cache_hit=False)
+
+
 def _point_tasks(point: CampaignPoint) -> list[tuple]:
     """One worker task per seeded trial batch of this grid point."""
     root = np.random.SeedSequence(point.entropy())
@@ -368,9 +427,10 @@ def _iter_campaign(spec: CampaignSpec, store: JsonStore | None,
     tasks: list[tuple] = []
     for point in spec.points():
         payload = store.get(point.key()) if store is not None else None
-        if payload is not None and _valid_payload(payload, point):
-            plans.append((point, PointEstimate(
-                point, tuple(payload["k_histogram"]), cache_hit=True), 0))
+        cached_estimate = (estimate_from_payload(point, payload)
+                          if payload is not None else None)
+        if cached_estimate is not None:
+            plans.append((point, cached_estimate, 0))
             continue
         point_tasks = _point_tasks(point)
         tasks.extend(point_tasks)
@@ -394,10 +454,7 @@ def _iter_campaign(spec: CampaignSpec, store: JsonStore | None,
                     point, tuple(int(x) for x in accumulator),
                     cache_hit=False)
                 if store is not None:
-                    store.put(point.key(), {
-                        "k_histogram": list(estimate.k_histogram),
-                        "trials": point.trials,
-                    })
+                    store.put(point.key(), payload_for(estimate))
             except Exception:
                 _POINTS_FAILED.inc()
                 raise

@@ -213,7 +213,10 @@ def default_server_rules(queue_depth_floor: float = 8.0,
     * sustained queue-depth growth at or past ``queue_depth_floor`` jobs
       (the backpressure trigger for the shard-fabric roadmap item);
     * rolling HTTP p99 past ``p99_ceiling_seconds``;
-    * failed jobs arriving faster than ``failure_rate_per_s``.
+    * failed jobs arriving faster than ``failure_rate_per_s``;
+    * experiment-grid points landing in ``failed`` faster than
+      ``failure_rate_per_s`` (crashing workers or a broken family
+      adapter — see :mod:`repro.grid`).
     """
     return (
         WatchdogRule("queue-depth-growth", "gauge_growth",
@@ -225,5 +228,9 @@ def default_server_rules(queue_depth_floor: float = 8.0,
         WatchdogRule("job-failure-rate", "rate_threshold",
                      "server_jobs_total",
                      label_filter={"state": "failed"},
+                     threshold=failure_rate_per_s, window=10),
+        WatchdogRule("grid-failure-rate", "rate_threshold",
+                     "nanoxbar_grid_points_total",
+                     label_filter={"status": "failed"},
                      threshold=failure_rate_per_s, window=10),
     )

@@ -24,7 +24,15 @@ class ServerError(RuntimeError):
 
 
 class ServerClient:
-    """Talks the :mod:`repro.server.protocol` vocabulary over HTTP."""
+    """Talks the :mod:`repro.server.protocol` vocabulary over HTTP.
+
+    The submission/stream calls accept and return plain dicts in the
+    protocol's JSON shapes — a submission is ``{"kind": "synthesis" |
+    "faultsim" | "varsweep" | "grid", ...}`` and per-point records come
+    back exactly as the server's record builders produce them.  Errors
+    surface as :class:`ServerError` (carrying the HTTP status); network
+    failures as the underlying ``OSError``/``HTTPException``.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8351,
                  timeout: float = 300.0):
@@ -55,6 +63,7 @@ class ServerClient:
 
     # -- endpoints --------------------------------------------------------
     def health(self) -> dict:
+        """``/healthz``: liveness plus watchdog status (ok/degraded)."""
         return self._request("GET", "/healthz")
 
     def wait_healthy(self, deadline: float = 30.0,
@@ -70,6 +79,7 @@ class ServerClient:
                 time.sleep(interval)
 
     def stats(self) -> dict:
+        """``/api/stats``: engine/cache/store/health snapshot off-loop."""
         return self._request("GET", "/api/stats")
 
     def metrics(self) -> str:
@@ -167,6 +177,7 @@ class ServerClient:
         return self._request("POST", "/api/submit", payload)
 
     def status(self, job_id: str) -> dict:
+        """``/api/status/<id>``: queue state and progress for one job."""
         return self._request("GET", f"/api/status/{job_id}")
 
     def result(self, job_id: str, wait: bool = True) -> dict:

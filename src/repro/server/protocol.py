@@ -2,7 +2,7 @@
 
 One JSON vocabulary shared by the asyncio app (:mod:`repro.server.app`),
 the stdlib client (:mod:`repro.server.client`) and the CLI.  A client
-submits one of the three workload families::
+submits one of the workload families::
 
     {"kind": "synthesis", "jobs": [{"bench": "xnor2"},
                                    {"label": "f", "n": 2, "bits": 6}],
@@ -13,6 +13,10 @@ submits one of the three workload families::
 
     {"kind": "varsweep", "bench": "xnor2", "sigmas": [0.2, 0.5],
      "crossbar_rows": 8, "crossbar_cols": 8, "trials": 100}
+
+    {"kind": "grid", "config": {"name": "sweep", "family": "faultsim",
+                                "grid": {"n": [8], "density": [0.05]},
+                                "fixed": {"trials": 200}}}
 
 and gets per-point JSON records back (one per synthesis job / campaign
 grid point), streamed incrementally over the chunked endpoint.
@@ -42,11 +46,15 @@ from ..engine import (
     known_strategies,
     lattice_to_text,
 )
+from ..engine.store import GridRow
 from ..faultlab import CampaignSpec, PointEstimate
+from ..grid import GridConfig, GridConfigError, GridPointError
+from ..grid import config_from_dict as grid_config_from_dict
+from ..grid import point_key as grid_point_key
 from ..varsim import VariationCampaignSpec, VariationPointEstimate
 
 #: The workload families the server fronts.
-KINDS = ("synthesis", "faultsim", "varsweep")
+KINDS = ("synthesis", "faultsim", "varsweep", "grid")
 
 
 class ProtocolError(ValueError):
@@ -58,8 +66,9 @@ class Submission:
     """One normalised, runnable request.
 
     ``jobs`` is set for synthesis submissions, ``spec`` for the two
-    campaign families; ``echo`` is the normalised request as the result
-    payload repeats it back.
+    campaign families and ``grid`` for declarative grid configs;
+    ``echo`` is the normalised request as the result payload repeats it
+    back.
     """
 
     kind: str
@@ -67,6 +76,7 @@ class Submission:
     points_total: int
     jobs: tuple[SynthesisJob, ...] | None = None
     spec: CampaignSpec | VariationCampaignSpec | None = None
+    grid: GridConfig | None = None
     echo: dict | None = None
 
 
@@ -219,6 +229,26 @@ def _parse_varsweep(payload: dict) -> Submission:
                       points_total=len(points), spec=spec, echo=echo)
 
 
+def _parse_grid(payload: dict) -> Submission:
+    raw = _require(payload, "config")
+    if not isinstance(raw, dict):
+        raise ProtocolError("grid submissions need a 'config' object")
+    try:
+        config = grid_config_from_dict(raw)
+        keys = [grid_point_key(config.family, params)
+                for params in config.expand()]
+    except (GridConfigError, GridPointError) as error:
+        raise ProtocolError(f"bad grid config: {error}") from error
+    echo = {"kind": "grid", "name": config.name, "family": config.family,
+            "points": len(keys)}
+    # Content over position: two configs sweeping the same points coalesce
+    # regardless of axis order (the same sort grid_id_for applies).
+    return Submission(kind="grid",
+                      coalesce_key=_digest(
+                          "grid", [config.family, *sorted(keys)]),
+                      points_total=len(keys), grid=config, echo=echo)
+
+
 def parse_submission(payload: Any) -> Submission:
     """Normalise one submitted JSON object (raises :class:`ProtocolError`)."""
     if not isinstance(payload, dict):
@@ -230,6 +260,8 @@ def parse_submission(payload: Any) -> Submission:
         return _parse_faultsim(payload)
     if kind == "varsweep":
         return _parse_varsweep(payload)
+    if kind == "grid":
+        return _parse_grid(payload)
     raise ProtocolError(f"unknown submission kind {kind!r} "
                         f"(expected one of {', '.join(KINDS)})")
 
@@ -276,6 +308,19 @@ def variation_estimate_record(estimate: VariationPointEstimate) -> dict:
         "aware_mean": estimate.aware_mean,
         "oblivious_mean": estimate.oblivious_mean,
         "cache_hit": estimate.cache_hit,
+    }
+
+
+def grid_row_record(row: GridRow, verdict: str) -> dict:
+    """One terminal grid row as a JSON record."""
+    return {
+        "point_key": row.point_key,
+        "params": row.params,
+        "status": row.status,
+        "attempts": row.attempts,
+        "result": row.result,
+        "error": row.error,
+        "cache_hit": verdict == "cached",
     }
 
 

@@ -22,6 +22,7 @@ from typing import Callable
 
 from ..engine import BatchEngine, JsonStore
 from ..faultlab import iter_campaign
+from ..grid import iter_grid_points
 from ..obs import tracing
 from ..obs.health import HealthMonitor, default_server_rules
 from ..obs.timeline import MetricsRecorder
@@ -29,6 +30,7 @@ from ..varsim import iter_variation_campaign
 from .protocol import (
     Submission,
     fault_estimate_record,
+    grid_row_record,
     job_result_record,
     variation_estimate_record,
 )
@@ -116,6 +118,15 @@ class WorkerBridge:
                                 processes=self.processes):
                             emit("point",
                                  variation_estimate_record(estimate))
+                    elif submission.kind == "grid":
+                        # The served grid drains in-process against the
+                        # bridge's store; external `nanoxbar grid`
+                        # workers on the same file join transparently
+                        # through the claim protocol.
+                        for row, verdict in iter_grid_points(
+                                submission.grid, self.store,
+                                worker="server"):
+                            emit("point", grid_row_record(row, verdict))
                     else:  # pragma: no cover - parse_submission gates kinds
                         raise ValueError(
                             f"unknown kind {submission.kind!r}")

@@ -303,6 +303,58 @@ def _valid_payload(payload, point: VariationCampaignPoint) -> bool:
     )
 
 
+def payload_for(estimate: VariationPointEstimate) -> dict:
+    """The store payload for one estimate (shared by campaigns and grid).
+
+    Grid rows persist exactly this shape under ``point.key()``, so a grid
+    sweep and ``run_variation_campaign`` dedup against each other's
+    results.
+    """
+    return {
+        "aware": list(estimate.aware_delays),
+        "oblivious": list(estimate.oblivious_delays),
+    }
+
+
+def estimate_from_payload(point: VariationCampaignPoint, payload,
+                          cache_hit: bool = True
+                          ) -> VariationPointEstimate | None:
+    """Rehydrate a persisted payload, or ``None`` if it fails validation."""
+    if not _valid_payload(payload, point):
+        return None
+    return VariationPointEstimate(point, tuple(payload["aware"]),
+                                  tuple(payload["oblivious"]),
+                                  cache_hit=cache_hit)
+
+
+def compute_point(spec: VariationCampaignSpec,
+                  point: VariationCampaignPoint,
+                  processes: int = 1) -> VariationPointEstimate:
+    """Sample one sigma point from scratch (no store probe, no persist).
+
+    Batch seeds come from :meth:`VariationCampaignPoint.entropy` alone,
+    so the result is bit-identical wherever and however often it runs —
+    the property the grid claim protocol leans on when a lease expires
+    and a second worker recomputes a point.  ``spec`` carries the lattice
+    (the point only stores its content hash).
+    """
+    table = spec.lattice.to_truth_table()
+    minterms = tuple(table.minterms())
+    if not minterms:
+        raise ValueError(
+            "variation campaign is undefined for a constant-0 lattice: "
+            "critical delay has no conducting on-set input")
+    aware: list[float] = []
+    oblivious: list[float] = []
+    tasks = _point_tasks(spec, point, minterms)
+    for batch_aware, batch_oblivious in iter_sharded(
+            _point_batch_task, tasks, processes):
+        aware.extend(batch_aware)
+        oblivious.extend(batch_oblivious)
+    return VariationPointEstimate(point, tuple(aware), tuple(oblivious),
+                                  cache_hit=False)
+
+
 def _point_tasks(spec: VariationCampaignSpec,
                  point: VariationCampaignPoint,
                  minterms: tuple[int, ...]) -> list[tuple]:
@@ -369,10 +421,10 @@ def _iter_variation_campaign(spec: VariationCampaignSpec,
     tasks: list[tuple] = []
     for point in spec.points():
         payload = store.get(point.key()) if store is not None else None
-        if payload is not None and _valid_payload(payload, point):
-            plans.append((point, VariationPointEstimate(
-                point, tuple(payload["aware"]),
-                tuple(payload["oblivious"]), cache_hit=True), 0))
+        cached_estimate = (estimate_from_payload(point, payload)
+                          if payload is not None else None)
+        if cached_estimate is not None:
+            plans.append((point, cached_estimate, 0))
             continue
         point_tasks = _point_tasks(spec, point, minterms)
         tasks.extend(point_tasks)
@@ -399,10 +451,7 @@ def _iter_variation_campaign(spec: VariationCampaignSpec,
                                                   tuple(oblivious),
                                                   cache_hit=False)
                 if store is not None:
-                    store.put(point.key(), {
-                        "aware": list(estimate.aware_delays),
-                        "oblivious": list(estimate.oblivious_delays),
-                    })
+                    store.put(point.key(), payload_for(estimate))
             except Exception:
                 _POINTS_FAILED.inc()
                 raise

@@ -310,4 +310,4 @@ class TestWatchdogs:
         recorder = _recorder(reg, health=monitor)
         recorder.tick_once()  # no traffic: everything stays quiet
         assert monitor.status()["status"] == "ok"
-        assert len(monitor.status()["rules"]) == 3
+        assert len(monitor.status()["rules"]) == 4

@@ -168,7 +168,7 @@ class TestStatsEndpoint:
     def test_stats_carries_health_and_resources(self, client):
         stats = client.stats()
         assert stats["health"]["status"] in ("ok", "degraded")
-        assert len(stats["health"]["rules"]) == 3
+        assert len(stats["health"]["rules"]) == 4
         assert stats["resources"] is None \
             or stats["resources"]["rss_bytes"] > 0
 
